@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses that regenerate the paper's
+ * tables and figures. Trace sizes default to scaled-down stand-ins
+ * for the paper's 1 MB / 10 MB streams so the whole suite runs in
+ * minutes on one core; set PAP_FULL_TRACES=1 for the full sizes or
+ * PAP_QUICK=1 for a fast smoke pass.
+ */
+
+#ifndef PAP_BENCH_BENCH_COMMON_H
+#define PAP_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pap {
+namespace bench {
+
+/** Length of the "1 MB-class" input stream. */
+inline std::uint64_t
+smallTraceLen()
+{
+    if (std::getenv("PAP_FULL_TRACES"))
+        return 1ull << 20;
+    if (std::getenv("PAP_QUICK"))
+        return 32ull << 10;
+    return 128ull << 10;
+}
+
+/** Length of the "10 MB-class" input stream. */
+inline std::uint64_t
+largeTraceLen()
+{
+    if (std::getenv("PAP_FULL_TRACES"))
+        return 10ull << 20;
+    if (std::getenv("PAP_QUICK"))
+        return 128ull << 10;
+    return 1ull << 20;
+}
+
+/** Human label for the configured sizes. */
+inline std::string
+traceSizeLabel()
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "small=%llu KiB, large=%llu KiB",
+                  static_cast<unsigned long long>(smallTraceLen() >> 10),
+                  static_cast<unsigned long long>(largeTraceLen() >> 10));
+    return buf;
+}
+
+/** Print a standard harness header. */
+inline void
+printHeader(const char *title, const char *paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("Reproduces: %s  (Parallel Automata Processor, ISCA'17)\n",
+                paper_ref);
+    std::printf("Traces: %s\n", traceSizeLabel().c_str());
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace bench
+} // namespace pap
+
+#endif // PAP_BENCH_BENCH_COMMON_H

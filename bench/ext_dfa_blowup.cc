@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension study (paper Section 2.1): "Converting these NFAs to
+ * equivalent DFAs also cannot help improve performance since it leads
+ * to exponential growth in the number of states." This harness
+ * measures the subset-construction blowup on growing slices of the
+ * regex-style benchmark rulesets (capped so the experiment always
+ * terminates) plus the classic exponential witness family.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "engine/determinize.h"
+#include "nfa/glushkov.h"
+#include "nfa/prefix_merge.h"
+#include "workloads/ruleset_gen.h"
+
+using namespace pap;
+
+namespace {
+
+constexpr std::uint64_t kCap = 50000;
+
+void
+addRow(Table &table, const std::string &label, const Nfa &nfa)
+{
+    const DeterminizeResult r = subsetConstruction(nfa, kCap);
+    const double ratio = static_cast<double>(r.dfaStates) /
+                         static_cast<double>(r.nfaStates);
+    table.addRow({label, fmtCount(r.nfaStates),
+                  std::string(r.capped ? ">" : "") +
+                      fmtCount(r.dfaStates),
+                  fmtDouble(ratio, 1) + (r.capped ? "+" : "")});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Extension: NFA-to-DFA state blowup",
+                       "Section 2.1 (DFA-conversion argument)");
+
+    Table table({"Automaton", "NFA states", "DFA states", "Blowup(x)"});
+
+    // Classic exponential family (a|b)*a(a|b)^{n-1}.
+    for (const int n : {8, 12, 16}) {
+        std::string pattern = "(a|b)*a";
+        for (int i = 1; i < n; ++i)
+            pattern += "(a|b)";
+        Nfa nfa;
+        RegexPtr ast = expandRepeats(parseRegex(pattern));
+        compileRegexInto(nfa, *ast, 1, true);
+        nfa.finalize();
+        addRow(table, "(a|b)*a(a|b)^" + std::to_string(n - 1), nfa);
+    }
+
+    // Growing slices of a Dotstar-style ruleset: each ".*" doubles
+    // the simultaneously trackable prefix combinations.
+    for (const std::uint32_t rules : {4u, 8u, 16u, 32u}) {
+        RulesetParams p;
+        p.count = rules;
+        p.minAtoms = 6;
+        p.maxAtoms = 8;
+        p.alphabet = "abcdefgh";
+        p.dotstarFraction = 1.0;
+        p.seed = 11;
+        const Nfa nfa = buildRulesetAutomaton(
+            p, "dotstar-" + std::to_string(rules), true);
+        addRow(table, "dotstar x" + std::to_string(rules), nfa);
+    }
+
+    // Exact-match slices stay near linear (prefix-sharing DFA).
+    for (const std::uint32_t rules : {8u, 32u, 128u}) {
+        RulesetParams p;
+        p.count = rules;
+        p.minAtoms = 6;
+        p.maxAtoms = 8;
+        p.alphabet = "abcdefgh";
+        p.seed = 12;
+        const Nfa nfa = buildRulesetAutomaton(
+            p, "exact-" + std::to_string(rules), true);
+        addRow(table, "exact-match x" + std::to_string(rules), nfa);
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Shape check (paper claim): wildcard rulesets blow up "
+                "past the cap\nwhile exact-match rulesets stay near "
+                "linear.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates Figure 9 of the paper: per benchmark, the number of
+ * enumeration flows at each stage of the reduction pipeline — states
+ * in the range of the boundary symbol, after connected-component
+ * merging, after common-parent merging — and the average number of
+ * flows actually live during execution (after dynamic convergence,
+ * deactivation, and FIV kills). The paper plots these on a log scale.
+ */
+
+#include <cstdio>
+
+#include "ap/ap_config.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "pap/runner.h"
+#include "workloads/benchmarks.h"
+
+using namespace pap;
+
+int
+main()
+{
+    bench::printHeader("Figure 9: Average number of flows", "Figure 9");
+
+    Table table({"Benchmark", "FlowsInRange", "AfterCC", "AfterParent",
+                 "AvgActive"});
+    for (const auto &info : benchmarkRegistry()) {
+        const Nfa nfa = buildBenchmark(info.name);
+        const std::uint64_t len = static_cast<std::uint64_t>(
+            static_cast<double>(bench::smallTraceLen()) *
+            info.traceScale);
+        const InputTrace input =
+            buildBenchmarkTrace(nfa, info.name, len);
+        PapOptions opt;
+        opt.routingMinHalfCores = info.paper.halfCores;
+        const PapResult r = runPap(nfa, input, ApConfig::d480(4), opt);
+        table.addRow({info.name, fmtDouble(r.flowsInRange, 0),
+                      fmtDouble(r.flowsAfterCc, 0),
+                      fmtDouble(r.flowsAfterParent, 0),
+                      fmtDouble(r.avgActiveFlows, 1)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf(
+        "Shape check (paper): CC merging collapses SPM from ~20k paths\n"
+        "to a handful of flows; parent merging helps Levenshtein and\n"
+        "Hamming; convergence + deactivation bring the averages down by\n"
+        "orders of magnitude for Dotstar/RandomForest/Fermi/SPM.\n");
+    return 0;
+}

@@ -1,0 +1,18 @@
+#include <cstdio>
+#include <algorithm>
+#include <vector>
+#include <utility>
+#include "nfa/analysis.h"
+#include "workloads/benchmarks.h"
+using namespace pap;
+int main(int argc, char** argv) {
+    const Nfa nfa = buildBenchmark(argc > 1 ? argv[1] : "Snort");
+    const RangeAnalysis ra(nfa);
+    // print 8 smallest ranges
+    std::vector<std::pair<uint32_t,int>> v;
+    for (int s=0;s<256;++s) v.push_back({ra.rangeSize((Symbol)s), s});
+    std::sort(v.begin(), v.end());
+    for (int i=0;i<10;++i) printf("sym=%3d '%c' range=%u\n", v[i].second, (v[i].second>=32&&v[i].second<127)?v[i].second:'?', v[i].first);
+    printf("range of \\n = %u, min=%u avg=%.0f max=%u\n", ra.rangeSize('\n'), ra.minRange(), ra.avgRange(), ra.maxRange());
+    return 0;
+}

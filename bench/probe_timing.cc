@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Developer probe: wall-clock cost and headline stats of one PAP run
+ * per benchmark at the small trace size. Not part of the paper's
+ * experiment set; used to budget the default bench configuration.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "ap/ap_config.h"
+#include "bench_common.h"
+#include "pap/runner.h"
+#include "workloads/benchmarks.h"
+
+using namespace pap;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t base_len = bench::smallTraceLen();
+    for (const auto &info : benchmarkRegistry()) {
+        if (argc > 1 && info.name != argv[1])
+            continue;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Nfa nfa = buildBenchmark(info.name);
+        const auto t1 = std::chrono::steady_clock::now();
+        const std::uint64_t len = static_cast<std::uint64_t>(
+            static_cast<double>(base_len) * info.traceScale);
+        const InputTrace input =
+            buildBenchmarkTrace(nfa, info.name, len);
+        const auto t2 = std::chrono::steady_clock::now();
+        PapOptions opt;
+        opt.routingMinHalfCores = info.paper.halfCores;
+        const PapResult r = runPap(nfa, input, ApConfig::d480(4), opt);
+        const auto t3 = std::chrono::steady_clock::now();
+        auto ms = [](auto a, auto b) {
+            return std::chrono::duration_cast<
+                       std::chrono::milliseconds>(b - a)
+                .count();
+        };
+        std::printf(
+            "%-18s build=%5lldms trace=%6lldms run=%6lldms "
+            "speedup=%6.2f ideal=%2u flows(range/cc/parent/avg)="
+            "%.0f/%.0f/%.0f/%.1f inflation=%.1f\n",
+            info.name.c_str(), static_cast<long long>(ms(t0, t1)),
+            static_cast<long long>(ms(t1, t2)),
+            static_cast<long long>(ms(t2, t3)), r.speedup,
+            r.idealSpeedup, r.flowsInRange, r.flowsAfterCc,
+            r.flowsAfterParent, r.avgActiveFlows, r.reportInflation);
+        std::printf("    pap=%llu base=%llu seqEv=%llu papEv=%llu tcpu=%.0f "
+                    "switch%%=%.2f capped=%d boundary=%u brange=%u\n",
+                    (unsigned long long)r.papCycles,
+                    (unsigned long long)r.baselineCycles,
+                    (unsigned long long)r.seqReportEvents,
+                    (unsigned long long)r.papReportEvents,
+                    r.avgTcpuCycles, r.switchOverheadPct,
+                    (int)r.goldenCapped, (unsigned)r.boundarySymbol,
+                    r.boundaryRangeSize);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates the energy discussion of Section 5.3: false-path
+ * traversal costs extra state transitions (paper: 2.4x per input
+ * symbol on average), but transitions only write enable flip-flops —
+ * row activations and static power dominate, and PAP's shorter
+ * wall-clock time wins back static energy. The table reports the
+ * measured transition ratio and the modeled energy ratio per
+ * benchmark.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ap/ap_config.h"
+#include "ap/energy.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "pap/runner.h"
+#include "workloads/benchmarks.h"
+
+using namespace pap;
+
+int
+main()
+{
+    bench::printHeader(
+        "Section 5.3: transition overhead and energy model",
+        "Section 5.3 (energy)");
+
+    const ApConfig board = ApConfig::d480(4);
+    Table table({"Benchmark", "Transitions(x)", "Static(x)",
+                 "Dynamic(x)", "Energy(x)"});
+    std::vector<double> ratios;
+    for (const auto &info : benchmarkRegistry()) {
+        const Nfa nfa = buildBenchmark(info.name);
+        const std::uint64_t len = static_cast<std::uint64_t>(
+            static_cast<double>(bench::smallTraceLen()) *
+            info.traceScale);
+        const InputTrace input =
+            buildBenchmarkTrace(nfa, info.name, len);
+        PapOptions opt;
+        opt.routingMinHalfCores = info.paper.halfCores;
+        const PapResult r = runPap(nfa, input, board, opt);
+
+        const std::uint64_t blocks =
+            (nfa.size() + board.stesPerBlock - 1) / board.stesPerBlock;
+
+        EnergyActivity seq;
+        seq.cycles = r.baselineCycles;
+        seq.blockCycles = r.baselineCycles * blocks;
+        seq.transitions = r.seqTransitions;
+
+        EnergyActivity pap;
+        pap.cycles = r.papCycles;
+        pap.blockCycles = r.flowSymbolCycles * blocks;
+        pap.transitions = r.flowTransitions;
+        pap.contextSwitches = r.contextSwitches;
+        pap.stateVectorUploads = r.stateVectorUploads;
+
+        const EnergyBreakdown es = energyOf(seq);
+        const EnergyBreakdown ep = energyOf(pap);
+        const double static_ratio = ep.staticEnergy / es.staticEnergy;
+        const double dyn_seq = es.total() - es.staticEnergy;
+        const double dyn_pap = ep.total() - ep.staticEnergy;
+        const double dynamic_ratio = dyn_seq > 0 ? dyn_pap / dyn_seq
+                                                 : 1.0;
+        const double total_ratio = ep.total() / es.total();
+        ratios.push_back(r.transitionRatio);
+
+        table.addRow({info.name, fmtDouble(r.transitionRatio, 2),
+                      fmtDouble(static_ratio, 2),
+                      fmtDouble(dynamic_ratio, 2),
+                      fmtDouble(total_ratio, 2)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("Mean transition ratio: %.2fx (paper: 2.4x average). "
+                "Static energy shrinks\nwith the speedup; the "
+                "transition-write term stays small, so total energy\n"
+                "drops for every benchmark that speeds up.\n",
+                stats::mean(ratios));
+    return 0;
+}

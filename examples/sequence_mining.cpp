@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sequential pattern mining support counting on the simulated AP, in
+ * the spirit of the paper's SPM workload (Wang et al.): candidate
+ * rules "itemset ... itemset ... itemset" with unbounded gaps are
+ * compiled into gap automata, a transaction stream is scanned once,
+ * and per-rule support counts fall out of the report stream. Shows
+ * how the gap (star) states dominate the symbol ranges yet connected
+ * component merging keeps the enumeration flow count tiny.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "ap/ap_config.h"
+#include "nfa/analysis.h"
+#include "pap/runner.h"
+#include "workloads/domain_gen.h"
+#include "workloads/trace_gen.h"
+
+using namespace pap;
+
+int
+main()
+{
+    // 600 candidate rules over a 64-item catalog; each rule is three
+    // itemsets separated by unbounded gaps.
+    const std::uint32_t num_rules = 600;
+    const Nfa nfa = buildSpm(num_rules, 7, /*seed=*/5);
+    const Components comps = connectedComponents(nfa);
+    const RangeAnalysis ranges(nfa);
+    std::printf("SPM automaton: %zu states, %u rules/components, "
+                "avg symbol range %.0f (%.0f%% of states: gap states "
+                "dominate)\n",
+                nfa.size(), comps.count, ranges.avgRange(),
+                100.0 * ranges.avgRange() /
+                    static_cast<double>(nfa.size()));
+
+    // Transaction stream: item codes with a sequence delimiter.
+    TraceGenOptions tg;
+    tg.pm = 0.2;
+    std::string items;
+    for (int i = 0; i < 64; ++i)
+        items += static_cast<char>('0' + i);
+    tg.baseAlphabet = alphabetFromString(items);
+    tg.separator = '\r';
+    tg.separatorPeriod = 600;
+    const InputTrace stream = generateTrace(nfa, 1 << 17, tg, 21);
+
+    const PapResult r = runPap(nfa, stream, ApConfig::d480(4));
+    std::printf("Scan: %u segments, %.2fx speedup (ideal %ux), "
+                "enumeration flows %0.f -> %0.f after CC merging, "
+                "verified=%s\n",
+                r.numSegments, r.speedup, r.idealSpeedup,
+                r.flowsInRange, r.flowsAfterParent,
+                r.verified ? "yes" : "no");
+
+    // Support counts per rule (matches per report code).
+    std::map<ReportCode, std::uint64_t> support;
+    for (const auto &event : r.reports)
+        ++support[event.code];
+    std::printf("Rules with support > 0: %zu of %u; top rules:\n",
+                support.size(), num_rules);
+    std::vector<std::pair<std::uint64_t, ReportCode>> top;
+    for (const auto &[code, count] : support)
+        top.emplace_back(count, code);
+    std::sort(top.rbegin(), top.rend());
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, top.size());
+         ++i)
+        std::printf("  rule %4u: support %llu\n", top[i].second,
+                    static_cast<unsigned long long>(top[i].first));
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate every artifact: build, full test suite, and all paper
+# tables/figures plus the extension studies. Outputs are tee'd to
+# test_output.txt and bench_output.txt in the repository root.
+#
+# Environment:
+#   PAP_FULL_TRACES=1   use the paper's 1 MB / 10 MB trace sizes
+#   PAP_QUICK=1         fast smoke pass (32 KiB / 128 KiB)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

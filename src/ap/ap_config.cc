@@ -1,0 +1,17 @@
+#include "ap/ap_config.h"
+
+#include "common/logging.h"
+
+namespace pap {
+
+ApConfig
+ApConfig::d480(std::uint32_t num_ranks)
+{
+    PAP_ASSERT(num_ranks >= 1 && num_ranks <= 4,
+               "D480 boards have 1..4 ranks, got ", num_ranks);
+    ApConfig cfg;
+    cfg.ranks = num_ranks;
+    return cfg;
+}
+
+} // namespace pap

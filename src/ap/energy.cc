@@ -1,0 +1,25 @@
+#include "ap/energy.h"
+
+namespace pap {
+
+EnergyBreakdown
+energyOf(const EnergyActivity &activity, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    out.staticEnergy =
+        params.staticPerCycle * static_cast<double>(activity.cycles);
+    out.dynamicRowEnergy =
+        params.rowActivation *
+        static_cast<double>(activity.blockCycles);
+    out.transitionEnergy =
+        params.transitionWrite *
+        static_cast<double>(activity.transitions);
+    out.switchEnergy = params.contextSwitch *
+                       static_cast<double>(activity.contextSwitches);
+    out.uploadEnergy =
+        params.stateVectorUpload *
+        static_cast<double>(activity.stateVectorUploads);
+    return out;
+}
+
+} // namespace pap

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * First-order AP energy model for the Section 5.3 energy discussion.
+ *
+ * The paper's argument: PAP shortens execution (less static energy)
+ * but traverses false paths (~2.4x extra state transitions per input
+ * symbol on average). The extra transitions only write the per-STE
+ * enable flip-flops — every symbol cycle already activates a full
+ * DRAM row in every active block regardless of how many STEs match —
+ * so dynamic energy grows much more slowly than the transition count.
+ * This model makes those terms explicit so the trade-off can be
+ * quantified per benchmark.
+ */
+
+#ifndef PAP_AP_ENERGY_H
+#define PAP_AP_ENERGY_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pap {
+
+/** Energy coefficients (arbitrary but self-consistent units: pJ). */
+struct EnergyParams
+{
+    /** Static board power per symbol cycle. */
+    double staticPerCycle = 100.0;
+    /** One DRAM row activation (per active block per cycle). */
+    double rowActivation = 1.0;
+    /** One enable-bit flip-flop write (per triggered transition). */
+    double transitionWrite = 0.02;
+    /** One State Vector Cache save+restore (per context switch). */
+    double contextSwitch = 5.0;
+    /** Host-side cost per uploaded state vector. */
+    double stateVectorUpload = 50.0;
+};
+
+/** Activity counts of one execution (sequential or parallel). */
+struct EnergyActivity
+{
+    /** Wall-clock length in symbol cycles. */
+    Cycles cycles = 0;
+    /** Sum over cycles of blocks with at least one enabled STE. */
+    std::uint64_t blockCycles = 0;
+    /** State transitions triggered (matches). */
+    std::uint64_t transitions = 0;
+    /** Flow context switches performed. */
+    std::uint64_t contextSwitches = 0;
+    /** State vectors uploaded to the host. */
+    std::uint64_t stateVectorUploads = 0;
+};
+
+/** Energy breakdown in model units. */
+struct EnergyBreakdown
+{
+    double staticEnergy = 0;
+    double dynamicRowEnergy = 0;
+    double transitionEnergy = 0;
+    double switchEnergy = 0;
+    double uploadEnergy = 0;
+
+    double
+    total() const
+    {
+        return staticEnergy + dynamicRowEnergy + transitionEnergy +
+               switchEnergy + uploadEnergy;
+    }
+};
+
+/** Evaluate the model on one activity record. */
+EnergyBreakdown energyOf(const EnergyActivity &activity,
+                         const EnergyParams &params = {});
+
+} // namespace pap
+
+#endif // PAP_AP_ENERGY_H

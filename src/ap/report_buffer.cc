@@ -1,0 +1,29 @@
+#include "ap/report_buffer.h"
+
+namespace pap {
+
+void
+ReportBuffer::push(FlowId flow, const std::vector<ReportEvent> &events)
+{
+    buffer.reserve(buffer.size() + events.size());
+    for (const auto &e : events)
+        buffer.push_back(FlowReport{e, flow});
+}
+
+void
+ReportBuffer::push(FlowId flow, const ReportEvent &event)
+{
+    buffer.push_back(FlowReport{event, flow});
+}
+
+std::uint64_t
+ReportBuffer::eventsFromFlow(FlowId flow) const
+{
+    std::uint64_t count = 0;
+    for (const auto &entry : buffer)
+        if (entry.flow == flow)
+            ++count;
+    return count;
+}
+
+} // namespace pap

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Model of the AP output event buffer: reporting STEs write a report
+ * code plus the byte offset of the triggering symbol, and each entry
+ * carries the flow identifier of the execution context that produced
+ * it (Sections 2.1 and 3.2). The host drains and filters the buffer.
+ */
+
+#ifndef PAP_AP_REPORT_BUFFER_H
+#define PAP_AP_REPORT_BUFFER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/report.h"
+
+namespace pap {
+
+/** One output-buffer entry: an event tagged with its flow. */
+struct FlowReport
+{
+    ReportEvent event;
+    FlowId flow;
+};
+
+/** Per-half-core output event buffer. */
+class ReportBuffer
+{
+  public:
+    /** Append events produced by @p flow. */
+    void push(FlowId flow, const std::vector<ReportEvent> &events);
+
+    /** Append a single event. */
+    void push(FlowId flow, const ReportEvent &event);
+
+    /** All entries in arrival order. */
+    const std::vector<FlowReport> &entries() const { return buffer; }
+
+    /** Total entries ever pushed. */
+    std::uint64_t totalEvents() const { return buffer.size(); }
+
+    /** Entries produced by one flow. */
+    std::uint64_t eventsFromFlow(FlowId flow) const;
+
+  private:
+    std::vector<FlowReport> buffer;
+};
+
+} // namespace pap
+
+#endif // PAP_AP_REPORT_BUFFER_H

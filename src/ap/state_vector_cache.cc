@@ -1,0 +1,67 @@
+#include "ap/state_vector_cache.h"
+
+#include "common/logging.h"
+
+namespace pap {
+
+StateVectorCache::StateVectorCache(std::uint32_t capacity)
+    : maxEntries(capacity)
+{
+    PAP_ASSERT(capacity > 0, "SVC needs a positive capacity");
+}
+
+const std::vector<StateId> &
+StateVectorCache::entryOf(FlowId flow) const
+{
+    const auto it = entries.find(flow);
+    PAP_ASSERT(it != entries.end(), "flow ", flow, " not resident");
+    return it->second;
+}
+
+void
+StateVectorCache::save(FlowId flow, std::vector<StateId> vector)
+{
+    const bool existed = entries.contains(flow);
+    if (!existed && entries.size() >= maxEntries)
+        PAP_FATAL("State Vector Cache overflow: ", entries.size(),
+                  " resident flows at capacity ", maxEntries,
+                  "; flow merging must reduce the flow count first");
+    entries[flow] = std::move(vector);
+    stats.add("svc.saves");
+}
+
+const std::vector<StateId> &
+StateVectorCache::load(FlowId flow)
+{
+    stats.add("svc.loads");
+    return entryOf(flow);
+}
+
+void
+StateVectorCache::invalidate(FlowId flow)
+{
+    entries.erase(flow);
+    stats.add("svc.invalidates");
+}
+
+bool
+StateVectorCache::resident(FlowId flow) const
+{
+    return entries.contains(flow);
+}
+
+bool
+StateVectorCache::equal(FlowId a, FlowId b)
+{
+    stats.add("svc.compares");
+    return entryOf(a) == entryOf(b);
+}
+
+bool
+StateVectorCache::isZero(FlowId flow)
+{
+    stats.add("svc.zeroChecks");
+    return entryOf(flow).empty();
+}
+
+} // namespace pap

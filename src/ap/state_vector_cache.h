@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Model of the AP's State Vector Cache (SVC): per-device storage for
+ * up to 512 flow contexts (Section 3.2). The PAP architecture augments
+ * it with a bitwise comparator used for near-zero-cost convergence
+ * checks (Section 3.3.3) and a zero-mask test used for deactivation
+ * checks (Section 3.3.4); both are modeled here along with the access
+ * counters the timing model consumes.
+ */
+
+#ifndef PAP_AP_STATE_VECTOR_CACHE_H
+#define PAP_AP_STATE_VECTOR_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace pap {
+
+/** One device's State Vector Cache. */
+class StateVectorCache
+{
+  public:
+    /** @param capacity maximum resident flow contexts (512 on D480). */
+    explicit StateVectorCache(std::uint32_t capacity);
+
+    /** Save a flow's state vector (the sorted active-state set). */
+    void save(FlowId flow, std::vector<StateId> vector);
+
+    /** Load a flow's state vector; the flow must be resident. */
+    const std::vector<StateId> &load(FlowId flow);
+
+    /** Drop a flow's entry (deactivation or invalidation). */
+    void invalidate(FlowId flow);
+
+    /** True if the flow currently has a resident vector. */
+    bool resident(FlowId flow) const;
+
+    /** Number of resident entries. */
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    std::uint32_t capacity() const { return maxEntries; }
+
+    /**
+     * Comparator: true if two resident flows hold bitwise-equal state
+     * vectors (the convergence condition).
+     */
+    bool equal(FlowId a, FlowId b);
+
+    /** Zero-mask test: true if the flow's vector is all-zero. */
+    bool isZero(FlowId flow);
+
+    /** Access counters: saves, loads, compares, zeroChecks, invalidates. */
+    const CounterSet &counters() const { return stats; }
+
+  private:
+    std::uint32_t maxEntries;
+    std::unordered_map<FlowId, std::vector<StateId>> entries;
+    CounterSet stats;
+
+    const std::vector<StateId> &entryOf(FlowId flow) const;
+};
+
+} // namespace pap
+
+#endif // PAP_AP_STATE_VECTOR_CACHE_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a PAPsim bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is suspicious but execution can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef PAP_COMMON_LOGGING_H
+#define PAP_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace pap {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log level; defaults to Warn so library output stays quiet. */
+LogLevel logLevel();
+
+/** Adjust the global log level (e.g., examples raise it to Info). */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a heterogeneous argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message; use for internal invariant violations. */
+#define PAP_PANIC(...) \
+    ::pap::detail::panicImpl(__FILE__, __LINE__, \
+                             ::pap::detail::concat(__VA_ARGS__))
+
+/** Exit with a message; use for user-caused unrecoverable errors. */
+#define PAP_FATAL(...) \
+    ::pap::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::pap::detail::concat(__VA_ARGS__))
+
+/** Cheap always-on assertion that panics with context on failure. */
+#define PAP_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::pap::detail::panicImpl(__FILE__, __LINE__, \
+                ::pap::detail::concat("assertion failed: " #cond " ", \
+                                      ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Emit a warning if the log level allows it. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message if the log level allows it. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace pap
+
+#endif // PAP_COMMON_LOGGING_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every generator in PAPsim is seeded explicitly so that benchmark NFAs
+ * and traces are bit-reproducible across runs and machines. The engine
+ * is xoshiro256**, seeded through SplitMix64.
+ */
+
+#ifndef PAP_COMMON_RNG_H
+#define PAP_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pap {
+
+/** xoshiro256** PRNG with convenience sampling helpers. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::int64_t
+    nextInRange(std::int64_t lo, std::int64_t hi)
+    {
+        PAP_ASSERT(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+            nextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+    /** Geometric-ish length: lo + Geom(p) truncated at hi. */
+    int nextLength(int lo, int hi, double p_continue);
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        PAP_ASSERT(!v.empty(), "pick from empty vector");
+        return v[nextBelow(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[nextBelow(i)]);
+    }
+
+  private:
+    std::uint64_t state[4];
+};
+
+} // namespace pap
+
+#endif // PAP_COMMON_RNG_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small numeric helpers (means, geomean, percentiles) and a named-counter
+ * registry used by the runtime models to expose what happened during a
+ * simulation without threading dozens of out-parameters around.
+ */
+
+#ifndef PAP_COMMON_STATS_H
+#define PAP_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pap {
+namespace stats {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty sample. Values must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum; 0 for an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0 for an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/** Linear-interpolated percentile in [0, 100]; 0 for an empty sample. */
+double percentile(std::vector<double> xs, double pct);
+
+} // namespace stats
+
+/**
+ * A named bag of counters. Models increment counters by name; tests and
+ * benches read them back. Copyable value type.
+ */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to an absolute value. */
+    void setValue(const std::string &name, std::uint64_t value);
+
+    /** Read a counter; 0 if it was never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Merge another set into this one (summing shared names). */
+    void merge(const CounterSet &other);
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+    /** Multi-line "name = value" rendering. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace pap
+
+#endif // PAP_COMMON_STATS_H

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pap {
+
+Table::Table(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{
+    PAP_ASSERT(!headerRow.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    PAP_ASSERT(cells.size() == headerRow.size(),
+               "row has ", cells.size(), " cells, expected ",
+               headerRow.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headerRow.size());
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        widths[c] = headerRow[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(headerRow);
+    std::size_t total = 0;
+    for (const auto w : widths)
+        total += w + 2;
+    os << std::string(total - 2, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace pap

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the bench harnesses to emit the
+ * rows of each paper table/figure in a readable, diffable format.
+ */
+
+#ifndef PAP_COMMON_TABLE_H
+#define PAP_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pap {
+
+/**
+ * Build a table row by row, then render with each column padded to its
+ * widest cell. Numeric cells should be pre-formatted by the caller via
+ * the formatting helpers below.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header underline and two-space column gaps. */
+    std::string toString() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a count with thousands separators ("1,234,567"). */
+std::string fmtCount(std::uint64_t v);
+
+} // namespace pap
+
+#endif // PAP_COMMON_TABLE_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types and limits shared by every PAPsim module.
+ */
+
+#ifndef PAP_COMMON_TYPES_H
+#define PAP_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace pap {
+
+/** An input symbol. The AP consumes 8-bit symbols (Section 2.1). */
+using Symbol = std::uint8_t;
+
+/** Number of distinct input symbols the AP supports. */
+inline constexpr int kAlphabetSize = 256;
+
+/** Identifier of an NFA state (an STE once placed on the AP). */
+using StateId = std::uint32_t;
+
+/** Sentinel for "no state". */
+inline constexpr StateId kInvalidState =
+    std::numeric_limits<StateId>::max();
+
+/** Identifier of a report (accepting) code attached to a reporting STE. */
+using ReportCode = std::uint32_t;
+
+/** Identifier of an AP flow (State Vector Cache entry). */
+using FlowId = std::uint32_t;
+
+/** Sentinel for "no flow". */
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+
+/** Identifier of a connected component of the NFA transition graph. */
+using ComponentId = std::uint32_t;
+
+/** Sentinel for "no component". */
+inline constexpr ComponentId kInvalidComponent =
+    std::numeric_limits<ComponentId>::max();
+
+/** AP symbol cycles (7.5 ns each on the D480). */
+using Cycles = std::uint64_t;
+
+} // namespace pap
+
+#endif // PAP_COMMON_TYPES_H

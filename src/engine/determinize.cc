@@ -1,0 +1,84 @@
+#include "engine/determinize.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "engine/compiled_nfa.h"
+#include "engine/functional_engine.h"
+
+namespace pap {
+
+namespace {
+
+std::uint64_t
+hashConfig(const std::vector<StateId> &config)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const StateId q : config) {
+        h ^= q;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+DeterminizeResult
+subsetConstruction(const Nfa &nfa, std::uint64_t max_states,
+                   const std::vector<Symbol> &alphabet)
+{
+    PAP_ASSERT(nfa.finalized(), "subsetConstruction on unfinalized NFA");
+    DeterminizeResult result;
+    result.nfaStates = nfa.size();
+
+    // Default alphabet: every symbol some label matches.
+    std::vector<Symbol> symbols = alphabet;
+    if (symbols.empty()) {
+        CharClass used;
+        for (StateId q = 0; q < nfa.size(); ++q)
+            used |= nfa[q].label;
+        symbols = used.toSymbols();
+    }
+
+    const CompiledNfa cnfa(nfa);
+    EngineScratch scratch(nfa.size());
+    FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
+
+    // Configurations in engine normal form (sorted active set with
+    // AllInput starts implicit).
+    std::unordered_map<std::uint64_t, std::vector<std::vector<StateId>>>
+        seen;
+    std::deque<std::vector<StateId>> work;
+
+    auto visit = [&](std::vector<StateId> config) -> bool {
+        auto &bucket = seen[hashConfig(config)];
+        for (const auto &existing : bucket)
+            if (existing == config)
+                return false;
+        bucket.push_back(config);
+        work.push_back(std::move(config));
+        ++result.dfaStates;
+        return true;
+    };
+
+    engine.reset(cnfa.initialActive(), 0);
+    visit(engine.snapshot());
+
+    while (!work.empty() && result.dfaStates < max_states) {
+        const std::vector<StateId> config = std::move(work.front());
+        work.pop_front();
+        for (const Symbol s : symbols) {
+            engine.reset(config, 0);
+            engine.step(s);
+            ++result.transitions;
+            visit(engine.snapshot());
+            if (result.dfaStates >= max_states)
+                break;
+        }
+    }
+    result.capped = result.dfaStates >= max_states;
+    return result;
+}
+
+} // namespace pap

@@ -1,0 +1,112 @@
+#include "engine/functional_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pap {
+
+FunctionalEngine::FunctionalEngine(const CompiledNfa &compiled,
+                                   bool starts_enabled,
+                                   EngineScratch *shared_scratch)
+    : cnfa(compiled), startsEnabled(starts_enabled)
+{
+    if (shared_scratch) {
+        scratch = shared_scratch;
+    } else {
+        ownedScratch = std::make_unique<EngineScratch>(compiled.size());
+        scratch = ownedScratch.get();
+    }
+}
+
+void
+FunctionalEngine::reset(const std::vector<StateId> &initial_active,
+                        std::uint64_t offset_base)
+{
+    active.clear();
+    events.clear();
+    stats = EngineCounters{};
+    offsetCursor = offset_base;
+    scratch->bump();
+    for (const StateId q : initial_active) {
+        PAP_ASSERT(q < cnfa.size(), "seed state ", q, " out of range");
+        if (startsEnabled && cnfa.isAllInputStart(q))
+            continue;
+        if (scratch->claim(q))
+            active.push_back(q);
+    }
+}
+
+void
+FunctionalEngine::step(Symbol s)
+{
+    scratch->bump();
+    next.clear();
+    for (const StateId q : active) {
+        if (!cnfa.label(q).test(s))
+            continue;
+        ++stats.matches;
+        if (cnfa.reporting(q))
+            events.push_back(
+                ReportEvent{offsetCursor, q, cnfa.reportCode(q)});
+        const auto [begin, end] = cnfa.successors(q);
+        for (const StateId *t = begin; t != end; ++t) {
+            if (startsEnabled && cnfa.isAllInputStart(*t))
+                continue;
+            if (scratch->claim(*t))
+                next.push_back(*t);
+        }
+    }
+    if (startsEnabled) {
+        stats.matches += cnfa.startMatchCount(s);
+        for (const auto &sr : cnfa.startReports(s))
+            events.push_back(ReportEvent{offsetCursor, sr.state,
+                                         sr.code});
+        for (const StateId t : cnfa.startEnables(s))
+            if (scratch->claim(t))
+                next.push_back(t);
+    }
+    active.swap(next);
+    stats.enables += active.size();
+    ++stats.symbols;
+    ++offsetCursor;
+}
+
+void
+FunctionalEngine::run(const Symbol *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        step(data[i]);
+}
+
+std::vector<StateId>
+FunctionalEngine::snapshot() const
+{
+    std::vector<StateId> out = active;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::uint64_t
+FunctionalEngine::stateHash() const
+{
+    // Sort a scratch copy so the hash is order-independent.
+    std::vector<StateId> sorted = active;
+    std::sort(sorted.begin(), sorted.end());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const StateId q : sorted) {
+        h ^= q;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::vector<ReportEvent>
+FunctionalEngine::takeReports()
+{
+    std::vector<ReportEvent> out;
+    out.swap(events);
+    return out;
+}
+
+} // namespace pap

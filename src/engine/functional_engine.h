@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sparse-active-set NFA interpreter. One engine instance corresponds
+ * to one AP execution context (one flow): it owns an active-state set,
+ * consumes symbols, and produces report events. Start-state machinery
+ * can be disabled for enumeration flows, whose spontaneous-start
+ * activity is carried by the Active State Group flow instead
+ * (Section 3.3.2 of the paper).
+ */
+
+#ifndef PAP_ENGINE_FUNCTIONAL_ENGINE_H
+#define PAP_ENGINE_FUNCTIONAL_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/compiled_nfa.h"
+#include "engine/report.h"
+
+namespace pap {
+
+/** Counters an engine accumulates while running. */
+struct EngineCounters
+{
+    /** Symbols consumed. */
+    std::uint64_t symbols = 0;
+    /** State matches (equals AP state transitions triggered). */
+    std::uint64_t matches = 0;
+    /** States enabled (with duplicates removed per cycle). */
+    std::uint64_t enables = 0;
+};
+
+/**
+ * Per-cycle duplicate-suppression scratch. It is O(states) in size, so
+ * when hundreds of engines (flows) run over the same automaton they
+ * should share one instance; sharing is safe because the scratch is
+ * only used inside a single step() call.
+ */
+class EngineScratch
+{
+  public:
+    /** Size for an automaton of @p states states. */
+    explicit EngineScratch(std::size_t states) : mark(states, 0) {}
+
+    /** Start a new deduplication generation. */
+    void
+    bump()
+    {
+        if (++epoch == 0) {
+            std::fill(mark.begin(), mark.end(), 0);
+            epoch = 1;
+        }
+    }
+
+    /** True the first time @p q is claimed in this generation. */
+    bool
+    claim(StateId q)
+    {
+        if (mark[q] == epoch)
+            return false;
+        mark[q] = epoch;
+        return true;
+    }
+
+  private:
+    std::vector<std::uint32_t> mark;
+    std::uint32_t epoch = 0;
+};
+
+/** One execution context over a CompiledNfa. */
+class FunctionalEngine
+{
+  public:
+    /**
+     * @param cnfa compiled automaton (must outlive the engine).
+     * @param starts_enabled when true, StartOfData states are enabled
+     *        before the first symbol and AllInput states before every
+     *        symbol; when false the engine runs only the activity of
+     *        the explicitly seeded states (enumeration-flow mode).
+     * @param scratch shared dedup scratch; if null the engine owns one.
+     */
+    FunctionalEngine(const CompiledNfa &cnfa, bool starts_enabled,
+                     EngineScratch *scratch = nullptr);
+
+    /**
+     * Clear all state and seed the active set. AllInput starts in the
+     * seed are dropped when start machinery is live (they would be
+     * double-processed). @p offset_base is the absolute input offset
+     * of the next symbol (for report events).
+     */
+    void reset(const std::vector<StateId> &initial_active,
+               std::uint64_t offset_base = 0);
+
+    /** Consume one symbol. */
+    void step(Symbol s);
+
+    /** Consume @p len symbols from @p data. */
+    void run(const Symbol *data, std::size_t len);
+
+    /** True if the active set is empty (the flow is unproductive). */
+    bool dead() const { return active.empty(); }
+
+    /** Number of currently active states. */
+    std::size_t activeCount() const { return active.size(); }
+
+    /** Sorted copy of the active set (the flow's state vector). */
+    std::vector<StateId> snapshot() const;
+
+    /** Unsorted view of the active set (cheap; for sampling). */
+    const std::vector<StateId> &activeRaw() const { return active; }
+
+    /** Order-independent 64-bit hash of the active set. */
+    std::uint64_t stateHash() const;
+
+    /** Absolute offset of the next symbol to be consumed. */
+    std::uint64_t cursor() const { return offsetCursor; }
+
+    /** Events produced so far (unsorted, in emission order). */
+    const std::vector<ReportEvent> &reports() const { return events; }
+
+    /** Move the accumulated events out (clears the internal buffer). */
+    std::vector<ReportEvent> takeReports();
+
+    /** Performance counters. */
+    const EngineCounters &counters() const { return stats; }
+
+    /** The compiled automaton this engine runs. */
+    const CompiledNfa &automaton() const { return cnfa; }
+
+  private:
+    const CompiledNfa &cnfa;
+    const bool startsEnabled;
+    std::unique_ptr<EngineScratch> ownedScratch;
+    EngineScratch *scratch;
+    std::vector<StateId> active;
+    std::vector<StateId> next;
+    std::uint64_t offsetCursor = 0;
+    std::vector<ReportEvent> events;
+    EngineCounters stats;
+};
+
+} // namespace pap
+
+#endif // PAP_ENGINE_FUNCTIONAL_ENGINE_H

@@ -1,0 +1,44 @@
+#include "engine/reference_engine.h"
+
+#include "common/logging.h"
+
+namespace pap {
+
+ReferenceResult
+referenceRun(const Nfa &nfa, const std::vector<Symbol> &input,
+             bool record_sets)
+{
+    PAP_ASSERT(nfa.finalized(), "referenceRun on unfinalized NFA");
+    ReferenceResult result;
+
+    // Before the first symbol both kinds of start state are enabled.
+    std::set<StateId> enabled;
+    for (const StateId q : nfa.startStates())
+        enabled.insert(q);
+
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const Symbol sym = input[i];
+        std::set<StateId> next;
+        for (const StateId q : enabled) {
+            if (!nfa[q].label.test(sym))
+                continue;
+            // The state matches: report and enable successors.
+            if (nfa[q].reporting)
+                result.reports.push_back(
+                    ReportEvent{i, q, nfa[q].reportCode});
+            for (const StateId t : nfa[q].succ)
+                next.insert(t);
+        }
+        // AllInput starts are spontaneously enabled every cycle.
+        for (const StateId q : nfa.startStates())
+            if (nfa[q].start == StartType::AllInput)
+                next.insert(q);
+        enabled = std::move(next);
+        if (record_sets)
+            result.enabledAfter.push_back(enabled);
+    }
+    sortAndDedupReports(result.reports);
+    return result;
+}
+
+} // namespace pap

@@ -1,0 +1,15 @@
+#include "engine/report.h"
+
+#include <algorithm>
+
+namespace pap {
+
+void
+sortAndDedupReports(std::vector<ReportEvent> &reports)
+{
+    std::sort(reports.begin(), reports.end());
+    reports.erase(std::unique(reports.begin(), reports.end()),
+                  reports.end());
+}
+
+} // namespace pap

@@ -1,0 +1,29 @@
+#include "engine/trace.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace pap {
+
+InputTrace
+InputTrace::fromString(const std::string &text)
+{
+    std::vector<Symbol> data(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i)
+        data[i] = static_cast<Symbol>(static_cast<unsigned char>(text[i]));
+    return InputTrace(std::move(data));
+}
+
+InputTrace
+InputTrace::fromFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        PAP_FATAL("cannot open trace file '", path, "'");
+    std::vector<Symbol> data((std::istreambuf_iterator<char>(is)),
+                             std::istreambuf_iterator<char>());
+    return InputTrace(std::move(data));
+}
+
+} // namespace pap

@@ -1,0 +1,129 @@
+#include "nfa/builders.h"
+
+#include "common/logging.h"
+#include "nfa/classical.h"
+
+namespace pap {
+
+StateId
+addExactMatchChain(Nfa &nfa, const std::string &pattern, ReportCode code)
+{
+    PAP_ASSERT(!pattern.empty(), "empty exact-match pattern");
+    StateId first = kInvalidState;
+    StateId prev = kInvalidState;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        const auto sym =
+            static_cast<Symbol>(static_cast<unsigned char>(pattern[i]));
+        const bool last = (i + 1 == pattern.size());
+        const StateId id = nfa.addState(
+            CharClass::single(sym),
+            i == 0 ? StartType::AllInput : StartType::None,
+            last, last ? code : 0);
+        if (i == 0)
+            first = id;
+        else
+            nfa.addEdge(prev, id);
+        prev = id;
+    }
+    return first;
+}
+
+Nfa
+buildExactMatchSet(const std::vector<std::string> &patterns,
+                   const std::string &name)
+{
+    Nfa nfa(name);
+    ReportCode code = 0;
+    for (const auto &p : patterns)
+        addExactMatchChain(nfa, p, code++);
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+namespace {
+
+/**
+ * Shared grid construction for the distance automata. Builds classical
+ * states (i, e) = "consumed i pattern characters with e errors", wiring
+ * the error transitions @p with_indels selects.
+ */
+Nfa
+buildDistanceAutomaton(const std::string &pattern, int distance,
+                       ReportCode code, const std::string &name,
+                       bool with_indels)
+{
+    PAP_ASSERT(!pattern.empty(), "empty distance pattern");
+    PAP_ASSERT(distance >= 0, "negative distance");
+
+    const int m = static_cast<int>(pattern.size());
+    const int k = distance;
+    ClassicalNfa cn;
+
+    // id(i, e) over 0 <= i <= m, 0 <= e <= k.
+    std::vector<std::uint32_t> ids((m + 1) * (k + 1));
+    auto id = [&](int i, int e) { return ids[i * (k + 1) + e]; };
+    for (auto &slot : ids)
+        slot = cn.addState();
+
+    cn.setStart(id(0, 0));
+    for (int e = 0; e <= k; ++e)
+        cn.setAccept(id(m, e), code);
+
+    for (int i = 0; i <= m; ++i) {
+        for (int e = 0; e <= k; ++e) {
+            if (i < m) {
+                const auto sym = static_cast<Symbol>(
+                    static_cast<unsigned char>(pattern[i]));
+                // Match the expected character.
+                cn.addEdge(id(i, e), id(i + 1, e),
+                           CharClass::single(sym));
+                if (e < k) {
+                    // Substitution: consume a wrong character.
+                    cn.addEdge(id(i, e), id(i + 1, e + 1),
+                               CharClass::single(sym).complement());
+                    if (with_indels) {
+                        // Deletion: skip a pattern character for free.
+                        cn.addEpsilon(id(i, e), id(i + 1, e + 1));
+                    }
+                }
+            }
+            if (with_indels && e < k) {
+                // Insertion: consume an extra input character.
+                cn.addEdge(id(i, e), id(i, e + 1), CharClass::all());
+            }
+        }
+    }
+    return cn.toHomogeneous(name, /*anywhere=*/true);
+}
+
+} // namespace
+
+Nfa
+buildHamming(const std::string &pattern, int distance, ReportCode code,
+             const std::string &name)
+{
+    return buildDistanceAutomaton(pattern, distance, code, name,
+                                  /*with_indels=*/false);
+}
+
+Nfa
+buildLevenshtein(const std::string &pattern, int distance,
+                 ReportCode code, const std::string &name)
+{
+    return buildDistanceAutomaton(pattern, distance, code, name,
+                                  /*with_indels=*/true);
+}
+
+Nfa
+unionAutomata(const std::vector<Nfa> &parts, const std::string &name)
+{
+    Nfa nfa(name);
+    for (const auto &part : parts)
+        nfa.append(part);
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+} // namespace pap

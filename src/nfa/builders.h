@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Constructors for the non-regex automata the paper's benchmarks use:
+ * exact-match string sets, Hamming-distance automata, and
+ * Levenshtein-distance automata (fuzzy matching with insertions and
+ * deletions, used against encoded DNA sequences in ANMLZoo).
+ */
+
+#ifndef PAP_NFA_BUILDERS_H
+#define PAP_NFA_BUILDERS_H
+
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace pap {
+
+/**
+ * Append a linear exact-match chain for @p pattern to @p nfa: the
+ * first state is an AllInput start (match can begin anywhere), the
+ * last reports @p code at the offset of the final character.
+ *
+ * @return id of the first state of the chain.
+ */
+StateId addExactMatchChain(Nfa &nfa, const std::string &pattern,
+                           ReportCode code);
+
+/**
+ * Build an automaton matching every pattern of @p patterns exactly,
+ * one chain per pattern (one connected component per distinct rule;
+ * apply commonPrefixMerge() afterwards to share prefixes).
+ */
+Nfa buildExactMatchSet(const std::vector<std::string> &patterns,
+                       const std::string &name);
+
+/**
+ * Build a Hamming automaton: reports @p code at offset i when the
+ * |pattern|-length window ending at i differs from @p pattern in at
+ * most @p distance positions.
+ */
+Nfa buildHamming(const std::string &pattern, int distance,
+                 ReportCode code, const std::string &name);
+
+/**
+ * Build a Levenshtein automaton: reports @p code at offset i when some
+ * substring ending at i is within edit distance @p distance (insert,
+ * delete, substitute) of @p pattern. Built as a classical NFA with
+ * epsilon deletions and homogenized for the AP.
+ */
+Nfa buildLevenshtein(const std::string &pattern, int distance,
+                     ReportCode code, const std::string &name);
+
+/**
+ * Union several independently built automata into one named machine
+ * (each input becomes at least one connected component).
+ */
+Nfa unionAutomata(const std::vector<Nfa> &parts, const std::string &name);
+
+} // namespace pap
+
+#endif // PAP_NFA_BUILDERS_H

@@ -1,0 +1,253 @@
+#include "nfa/classical.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace pap {
+
+std::uint32_t
+ClassicalNfa::addState()
+{
+    states.emplace_back();
+    return static_cast<std::uint32_t>(states.size() - 1);
+}
+
+void
+ClassicalNfa::addEdge(std::uint32_t from, std::uint32_t to,
+                      const CharClass &cls)
+{
+    PAP_ASSERT(from < states.size() && to < states.size());
+    states[from].edges.push_back(ClassicalEdge{to, cls});
+}
+
+void
+ClassicalNfa::addEpsilon(std::uint32_t from, std::uint32_t to)
+{
+    PAP_ASSERT(from < states.size() && to < states.size());
+    states[from].eps.push_back(to);
+}
+
+void
+ClassicalNfa::setAccept(std::uint32_t id, ReportCode code)
+{
+    PAP_ASSERT(id < states.size());
+    states[id].accept = true;
+    states[id].reportCode = code;
+}
+
+std::vector<std::uint32_t>
+ClassicalNfa::epsilonClosure(std::vector<std::uint32_t> seed) const
+{
+    std::vector<bool> seen(states.size(), false);
+    std::deque<std::uint32_t> work;
+    for (const auto s : seed) {
+        if (!seen[s]) {
+            seen[s] = true;
+            work.push_back(s);
+        }
+    }
+    std::vector<std::uint32_t> out;
+    while (!work.empty()) {
+        const std::uint32_t s = work.front();
+        work.pop_front();
+        out.push_back(s);
+        for (const auto t : states[s].eps) {
+            if (!seen[t]) {
+                seen[t] = true;
+                work.push_back(t);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::vector<ReportCode>>
+ClassicalNfa::simulate(const std::vector<Symbol> &input,
+                       bool anywhere) const
+{
+    std::vector<std::vector<ReportCode>> reports(input.size());
+    const std::vector<std::uint32_t> start_closure =
+        epsilonClosure({startState});
+
+    std::vector<std::uint32_t> active = start_closure;
+    std::vector<bool> mark(states.size(), false);
+
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (anywhere) {
+            // A fresh match attempt may begin before every symbol.
+            std::vector<std::uint32_t> merged = active;
+            merged.insert(merged.end(), start_closure.begin(),
+                          start_closure.end());
+            std::sort(merged.begin(), merged.end());
+            merged.erase(std::unique(merged.begin(), merged.end()),
+                         merged.end());
+            active = std::move(merged);
+        }
+        const Symbol sym = input[i];
+        std::vector<std::uint32_t> next;
+        for (const auto p : active)
+            for (const auto &e : states[p].edges)
+                if (e.cls.test(sym) && !mark[e.to]) {
+                    mark[e.to] = true;
+                    next.push_back(e.to);
+                }
+        for (const auto q : next)
+            mark[q] = false;
+        active = epsilonClosure(std::move(next));
+        for (const auto q : active)
+            if (states[q].accept)
+                reports[i].push_back(states[q].reportCode);
+        std::sort(reports[i].begin(), reports[i].end());
+        reports[i].erase(
+            std::unique(reports[i].begin(), reports[i].end()),
+            reports[i].end());
+    }
+    return reports;
+}
+
+Nfa
+ClassicalNfa::toHomogeneous(const std::string &name, bool anywhere) const
+{
+    Nfa nfa(name);
+
+    // Pre-compute closures once.
+    std::vector<std::vector<std::uint32_t>> closure(states.size());
+    for (std::uint32_t q = 0; q < states.size(); ++q)
+        closure[q] = epsilonClosure({q});
+
+    // Homogeneous state per distinct (target, label) pair.
+    struct HomEntry { CharClass cls; StateId id; };
+    std::vector<std::vector<HomEntry>> hom(states.size());
+
+    auto getHom = [&](std::uint32_t q, const CharClass &cls) -> StateId {
+        for (const auto &e : hom[q])
+            if (e.cls == cls)
+                return e.id;
+        // Reporting if any state in the closure of q accepts.
+        bool reporting = false;
+        ReportCode code = 0;
+        for (const auto v : closure[q]) {
+            if (states[v].accept) {
+                reporting = true;
+                code = states[v].reportCode;
+                break;
+            }
+        }
+        const StateId id = nfa.addState(cls, StartType::None,
+                                        reporting, code);
+        hom[q].push_back(HomEntry{cls, id});
+        return id;
+    };
+
+    // First pass: create a homogeneous state for every edge label.
+    for (std::uint32_t u = 0; u < states.size(); ++u)
+        for (const auto &e : states[u].edges)
+            getHom(e.to, e.cls);
+
+    // Second pass: connect hom(q, *) to hom(w, C') for every edge
+    // (v, C', w) with v in closure(q).
+    for (std::uint32_t q = 0; q < states.size(); ++q) {
+        if (hom[q].empty())
+            continue;
+        std::vector<StateId> succ_ids;
+        for (const auto v : closure[q])
+            for (const auto &e : states[v].edges)
+                succ_ids.push_back(getHom(e.to, e.cls));
+        std::sort(succ_ids.begin(), succ_ids.end());
+        succ_ids.erase(std::unique(succ_ids.begin(), succ_ids.end()),
+                       succ_ids.end());
+        for (const auto &entry : hom[q])
+            for (const StateId t : succ_ids)
+                nfa.addEdge(entry.id, t);
+    }
+
+    // Start enables: everything reachable from the start closure by
+    // one labeled edge.
+    const StartType start_type =
+        anywhere ? StartType::AllInput : StartType::StartOfData;
+    for (const auto v : closure[startState])
+        for (const auto &e : states[v].edges) {
+            const StateId h = getHom(e.to, e.cls);
+            nfa.mutableState(h).start = start_type;
+        }
+
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+namespace {
+
+/** Thompson fragment: entry and exit states. */
+struct Fragment
+{
+    std::uint32_t in;
+    std::uint32_t out;
+};
+
+Fragment
+buildThompson(ClassicalNfa &nfa, const RegexNode &node)
+{
+    switch (node.op) {
+      case RegexOp::Literal: {
+        const auto in = nfa.addState();
+        const auto out = nfa.addState();
+        nfa.addEdge(in, out, node.cls);
+        return {in, out};
+      }
+      case RegexOp::Concat: {
+        Fragment acc = buildThompson(nfa, *node.children.front());
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+            const Fragment next =
+                buildThompson(nfa, *node.children[i]);
+            nfa.addEpsilon(acc.out, next.in);
+            acc.out = next.out;
+        }
+        return acc;
+      }
+      case RegexOp::Alt: {
+        const auto in = nfa.addState();
+        const auto out = nfa.addState();
+        for (const auto &child : node.children) {
+            const Fragment f = buildThompson(nfa, *child);
+            nfa.addEpsilon(in, f.in);
+            nfa.addEpsilon(f.out, out);
+        }
+        return {in, out};
+      }
+      case RegexOp::Star:
+      case RegexOp::Plus:
+      case RegexOp::Opt: {
+        const auto in = nfa.addState();
+        const auto out = nfa.addState();
+        const Fragment f = buildThompson(nfa, *node.children.front());
+        nfa.addEpsilon(in, f.in);
+        nfa.addEpsilon(f.out, out);
+        if (node.op != RegexOp::Plus)
+            nfa.addEpsilon(in, out); // skip (zero occurrences)
+        if (node.op != RegexOp::Opt)
+            nfa.addEpsilon(f.out, f.in); // loop back
+        return {in, out};
+      }
+      case RegexOp::Repeat:
+        PAP_PANIC("Repeat must be expanded before Thompson");
+    }
+    PAP_PANIC("unreachable regex op");
+}
+
+} // namespace
+
+ClassicalNfa
+thompson(const RegexNode &ast, ReportCode code)
+{
+    ClassicalNfa nfa;
+    const Fragment f = buildThompson(nfa, ast);
+    nfa.setStart(f.in);
+    nfa.setAccept(f.out, code);
+    return nfa;
+}
+
+} // namespace pap

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Classical NFA with epsilon transitions and per-edge labels, plus a
+ * Thompson regex construction and a converter to the homogeneous
+ * (ANML) form. The classical form is the natural way to express
+ * Levenshtein/Hamming automata (whose deletions are epsilon moves) and
+ * doubles as an independent oracle for differential-testing the
+ * Glushkov compiler.
+ */
+
+#ifndef PAP_NFA_CLASSICAL_H
+#define PAP_NFA_CLASSICAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/charclass.h"
+#include "common/types.h"
+#include "nfa/nfa.h"
+#include "nfa/regex.h"
+
+namespace pap {
+
+/** A labeled transition of a classical NFA. */
+struct ClassicalEdge
+{
+    std::uint32_t to;
+    CharClass cls;
+};
+
+/** One classical NFA state. */
+struct ClassicalState
+{
+    std::vector<ClassicalEdge> edges;
+    std::vector<std::uint32_t> eps;
+    bool accept = false;
+    ReportCode reportCode = 0;
+};
+
+/**
+ * Classical NFA: a single designated start state, labeled edges, and
+ * epsilon moves. Used as a construction scratchpad and test oracle,
+ * not for AP execution.
+ */
+class ClassicalNfa
+{
+  public:
+    /** Create a state; returns its id. */
+    std::uint32_t addState();
+
+    /** Add a labeled transition. */
+    void addEdge(std::uint32_t from, std::uint32_t to,
+                 const CharClass &cls);
+
+    /** Add an epsilon transition. */
+    void addEpsilon(std::uint32_t from, std::uint32_t to);
+
+    /** Mark a state accepting with the given report code. */
+    void setAccept(std::uint32_t id, ReportCode code);
+
+    /** Designate the start state. */
+    void setStart(std::uint32_t id) { startState = id; }
+
+    std::uint32_t start() const { return startState; }
+    std::size_t size() const { return states.size(); }
+    const ClassicalState &operator[](std::uint32_t id) const
+    {
+        return states[id];
+    }
+
+    /** Epsilon closure of a state set (sorted, deduplicated). */
+    std::vector<std::uint32_t>
+    epsilonClosure(std::vector<std::uint32_t> seed) const;
+
+    /**
+     * Reference subset simulation. Returns, for every input offset i,
+     * the report codes accepted by a match ending at symbol i.
+     * @param anywhere if true, a fresh match attempt starts before
+     *        every symbol (AP-style unanchored matching).
+     */
+    std::vector<std::vector<ReportCode>>
+    simulate(const std::vector<Symbol> &input, bool anywhere) const;
+
+    /**
+     * Convert to the homogeneous (ANML) form. Each homogeneous state
+     * is a (target state, incoming label) pair; epsilon transitions
+     * are compiled away via closures.
+     * @param anywhere start states become AllInput when true,
+     *        StartOfData otherwise.
+     */
+    Nfa toHomogeneous(const std::string &name, bool anywhere) const;
+
+  private:
+    std::vector<ClassicalState> states;
+    std::uint32_t startState = 0;
+};
+
+/** Thompson construction from a regex AST (Repeat must be expanded). */
+ClassicalNfa thompson(const RegexNode &ast, ReportCode code);
+
+} // namespace pap
+
+#endif // PAP_NFA_CLASSICAL_H

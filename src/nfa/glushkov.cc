@@ -1,0 +1,167 @@
+#include "nfa/glushkov.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pap {
+
+namespace {
+
+/** Per-node Glushkov attributes over position indices. */
+struct GlushkovInfo
+{
+    bool nullable = false;
+    std::vector<int> first;
+    std::vector<int> last;
+};
+
+/** Collector for positions and the follow relation. */
+class GlushkovBuilder
+{
+  public:
+    GlushkovInfo
+    visit(const RegexNode &node)
+    {
+        switch (node.op) {
+          case RegexOp::Literal:
+            return visitLiteral(node);
+          case RegexOp::Concat:
+            return visitConcat(node);
+          case RegexOp::Alt:
+            return visitAlt(node);
+          case RegexOp::Star:
+          case RegexOp::Plus:
+          case RegexOp::Opt:
+            return visitQuantifier(node);
+          case RegexOp::Repeat:
+            PAP_PANIC("Repeat must be expanded before Glushkov");
+        }
+        PAP_PANIC("unreachable regex op");
+    }
+
+    std::vector<CharClass> positions;
+    std::vector<std::vector<int>> follow;
+
+  private:
+    GlushkovInfo
+    visitLiteral(const RegexNode &node)
+    {
+        const int idx = static_cast<int>(positions.size());
+        positions.push_back(node.cls);
+        follow.emplace_back();
+        GlushkovInfo info;
+        // An empty class can never match: it is nullable-free and has
+        // no usable position, but keeping it in first/last is harmless
+        // because its label matches no symbol.
+        info.first = {idx};
+        info.last = {idx};
+        return info;
+    }
+
+    GlushkovInfo
+    visitConcat(const RegexNode &node)
+    {
+        GlushkovInfo acc = visit(*node.children.front());
+        for (std::size_t i = 1; i < node.children.size(); ++i) {
+            const GlushkovInfo next = visit(*node.children[i]);
+            for (const int p : acc.last)
+                appendFollow(p, next.first);
+            if (acc.nullable)
+                appendTo(acc.first, next.first);
+            if (next.nullable)
+                appendTo(acc.last, next.last);
+            else
+                acc.last = next.last;
+            acc.nullable = acc.nullable && next.nullable;
+        }
+        return acc;
+    }
+
+    GlushkovInfo
+    visitAlt(const RegexNode &node)
+    {
+        GlushkovInfo acc;
+        for (const auto &child : node.children) {
+            const GlushkovInfo ci = visit(*child);
+            acc.nullable = acc.nullable || ci.nullable;
+            appendTo(acc.first, ci.first);
+            appendTo(acc.last, ci.last);
+        }
+        return acc;
+    }
+
+    GlushkovInfo
+    visitQuantifier(const RegexNode &node)
+    {
+        GlushkovInfo info = visit(*node.children.front());
+        if (node.op == RegexOp::Star || node.op == RegexOp::Plus) {
+            for (const int p : info.last)
+                appendFollow(p, info.first);
+        }
+        if (node.op == RegexOp::Star || node.op == RegexOp::Opt)
+            info.nullable = true;
+        return info;
+    }
+
+    void
+    appendFollow(int pos, const std::vector<int> &next)
+    {
+        appendTo(follow[pos], next);
+    }
+
+    static void
+    appendTo(std::vector<int> &dst, const std::vector<int> &src)
+    {
+        dst.insert(dst.end(), src.begin(), src.end());
+    }
+};
+
+} // namespace
+
+std::vector<StateId>
+compileRegexInto(Nfa &nfa, const RegexNode &ast, ReportCode code,
+                 bool anchored)
+{
+    GlushkovBuilder builder;
+    const GlushkovInfo root = builder.visit(ast);
+
+    if (root.nullable)
+        warn("pattern for report ", code,
+             " matches the empty string; the empty match is dropped");
+
+    const StartType start_type =
+        anchored ? StartType::StartOfData : StartType::AllInput;
+
+    std::vector<StateId> ids(builder.positions.size());
+    for (std::size_t p = 0; p < builder.positions.size(); ++p)
+        ids[p] = nfa.addState(builder.positions[p]);
+
+    for (const int p : root.first)
+        nfa.mutableState(ids[p]).start = start_type;
+    for (const int p : root.last) {
+        auto &st = nfa.mutableState(ids[p]);
+        st.reporting = true;
+        st.reportCode = code;
+    }
+    for (std::size_t p = 0; p < builder.follow.size(); ++p)
+        for (const int q : builder.follow[p])
+            nfa.addEdge(ids[p], ids[q]);
+    return ids;
+}
+
+Nfa
+compileRuleset(const std::vector<RegexRule> &rules,
+               const std::string &name)
+{
+    Nfa nfa(name);
+    for (const auto &rule : rules) {
+        RegexPtr ast = expandRepeats(parseRegex(rule.pattern));
+        compileRegexInto(nfa, *ast, rule.code, rule.anchored);
+    }
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+} // namespace pap

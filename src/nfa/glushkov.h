@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Glushkov (position automaton) construction: compiles a regex AST
+ * directly into a homogeneous NFA, which is exactly the ANML form the
+ * AP wants — every position is one STE labeled with its character
+ * class, with no epsilon transitions and no extra states.
+ */
+
+#ifndef PAP_NFA_GLUSHKOV_H
+#define PAP_NFA_GLUSHKOV_H
+
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+#include "nfa/regex.h"
+
+namespace pap {
+
+/** One rule of a ruleset: a pattern plus its report code. */
+struct RegexRule
+{
+    std::string pattern;
+    ReportCode code = 0;
+    /**
+     * Anchored rules match only at the start of the input
+     * (StartOfData); unanchored rules match anywhere (AllInput), which
+     * is the common ANML idiom.
+     */
+    bool anchored = false;
+};
+
+/**
+ * Compile one parsed pattern into @p nfa (appending states). Bounded
+ * repetitions must have been expanded (compileRegexInto does it).
+ * Patterns that can match the empty string trigger a warning; the empty
+ * match itself is not representable and is dropped.
+ *
+ * @return ids of the states created for this rule.
+ */
+std::vector<StateId> compileRegexInto(Nfa &nfa, const RegexNode &ast,
+                                      ReportCode code, bool anchored);
+
+/**
+ * Parse and compile a whole ruleset into a fresh, finalized NFA named
+ * @p name. Each rule becomes an independent sub-automaton (its own
+ * connected component unless prefix merging later joins them).
+ */
+Nfa compileRuleset(const std::vector<RegexRule> &rules,
+                   const std::string &name);
+
+} // namespace pap
+
+#endif // PAP_NFA_GLUSHKOV_H

@@ -1,0 +1,135 @@
+#include "nfa/prefix_merge.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "nfa/analysis.h"
+
+namespace pap {
+
+namespace {
+
+/** Mix a 64-bit value into a running hash. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** Attributes that must match exactly for two states to merge. */
+struct MergeKey
+{
+    const NfaState *state;
+    const std::vector<StateId> *pred;
+
+    bool
+    equals(const MergeKey &other) const
+    {
+        const auto &a = *state;
+        const auto &b = *other.state;
+        return a.label == b.label && a.start == b.start &&
+               a.reporting == b.reporting &&
+               a.reportCode == b.reportCode && *pred == *other.pred;
+    }
+
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0x243f6a8885a308d3ull;
+        for (int s = 0; s < kAlphabetSize; s += 64) {
+            std::uint64_t w = 0;
+            for (int b = 0; b < 64; ++b)
+                if (state->label.test(static_cast<Symbol>(s + b)))
+                    w |= std::uint64_t{1} << b;
+            h = mix(h, w);
+        }
+        h = mix(h, static_cast<std::uint64_t>(state->start));
+        h = mix(h, state->reporting ? state->reportCode + 1 : 0);
+        for (const StateId p : *pred)
+            h = mix(h, p);
+        return h;
+    }
+};
+
+/**
+ * One merge pass. Returns true (and fills @p merged) if any pair of
+ * states merged.
+ */
+bool
+mergeOnce(const Nfa &nfa, Nfa &merged)
+{
+    const auto pred = buildPredecessors(nfa);
+
+    std::unordered_map<std::uint64_t, std::vector<StateId>> buckets;
+    buckets.reserve(nfa.size());
+    std::vector<StateId> leader(nfa.size());
+    bool changed = false;
+
+    for (StateId q = 0; q < nfa.size(); ++q) {
+        const MergeKey key{&nfa[q], &pred[q]};
+        auto &bucket = buckets[key.hash()];
+        StateId found = kInvalidState;
+        for (const StateId other : bucket) {
+            const MergeKey other_key{&nfa[other], &pred[other]};
+            if (key.equals(other_key)) {
+                found = other;
+                break;
+            }
+        }
+        if (found != kInvalidState) {
+            leader[q] = found;
+            changed = true;
+        } else {
+            leader[q] = q;
+            bucket.push_back(q);
+        }
+    }
+
+    if (!changed)
+        return false;
+
+    // Materialize the quotient automaton.
+    std::vector<StateId> new_id(nfa.size(), kInvalidState);
+    merged = Nfa(nfa.name());
+    for (StateId q = 0; q < nfa.size(); ++q) {
+        if (leader[q] != q)
+            continue;
+        const auto &s = nfa[q];
+        new_id[q] = merged.addState(s.label, s.start, s.reporting,
+                                    s.reportCode);
+    }
+    for (StateId q = 0; q < nfa.size(); ++q)
+        for (const StateId t : nfa[q].succ)
+            merged.addEdge(new_id[leader[q]], new_id[leader[t]]);
+    merged.finalize();
+    return true;
+}
+
+} // namespace
+
+Nfa
+commonPrefixMerge(const Nfa &input, PrefixMergeStats *stats)
+{
+    PAP_ASSERT(input.finalized(), "commonPrefixMerge on unfinalized NFA");
+
+    Nfa current = input;
+    std::uint32_t iterations = 0;
+    for (;;) {
+        Nfa merged;
+        if (!mergeOnce(current, merged))
+            break;
+        current = std::move(merged);
+        ++iterations;
+    }
+    if (stats) {
+        stats->statesBefore = input.size();
+        stats->statesAfter = current.size();
+        stats->iterations = iterations;
+    }
+    current.validate();
+    return current;
+}
+
+} // namespace pap

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Common-prefix merging (Becchi-style compression, used by the paper
+ * prior to execution, Section 4.1): states with identical labels,
+ * start behaviour, report behaviour, and predecessor sets have
+ * identical left languages and can be merged without changing the
+ * matched language. Rules sharing a prefix collapse into a trie-like
+ * head, which removes redundant traversals.
+ */
+
+#ifndef PAP_NFA_PREFIX_MERGE_H
+#define PAP_NFA_PREFIX_MERGE_H
+
+#include <cstdint>
+
+#include "nfa/nfa.h"
+
+namespace pap {
+
+/** Outcome of commonPrefixMerge. */
+struct PrefixMergeStats
+{
+    std::size_t statesBefore = 0;
+    std::size_t statesAfter = 0;
+    std::uint32_t iterations = 0;
+};
+
+/**
+ * Merge left-equivalent states until fixpoint. The input must be
+ * finalized; the result is finalized. @p stats (optional) receives the
+ * before/after sizes.
+ */
+Nfa commonPrefixMerge(const Nfa &nfa, PrefixMergeStats *stats = nullptr);
+
+} // namespace pap
+
+#endif // PAP_NFA_PREFIX_MERGE_H

@@ -1,0 +1,493 @@
+#include "nfa/regex.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pap {
+
+RegexError::RegexError(const std::string &msg, std::size_t pos)
+    : std::runtime_error(msg + " (at offset " + std::to_string(pos) + ")"),
+      errorPos(pos)
+{}
+
+std::unique_ptr<RegexNode>
+RegexNode::clone() const
+{
+    auto copy = std::make_unique<RegexNode>();
+    copy->op = op;
+    copy->cls = cls;
+    copy->repeatMin = repeatMin;
+    copy->repeatMax = repeatMax;
+    copy->children.reserve(children.size());
+    for (const auto &c : children)
+        copy->children.push_back(c->clone());
+    return copy;
+}
+
+RegexPtr
+regexLiteral(const CharClass &cls)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Literal;
+    n->cls = cls;
+    return n;
+}
+
+namespace {
+
+RegexPtr
+makeNary(RegexOp op, std::vector<RegexPtr> children)
+{
+    PAP_ASSERT(!children.empty(), "n-ary regex node with no children");
+    if (children.size() == 1)
+        return std::move(children.front());
+    auto n = std::make_unique<RegexNode>();
+    n->op = op;
+    n->children = std::move(children);
+    return n;
+}
+
+RegexPtr
+makeUnary(RegexOp op, RegexPtr child)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = op;
+    n->children.push_back(std::move(child));
+    return n;
+}
+
+} // namespace
+
+RegexPtr
+regexConcat(std::vector<RegexPtr> children)
+{
+    return makeNary(RegexOp::Concat, std::move(children));
+}
+
+RegexPtr
+regexAlt(std::vector<RegexPtr> children)
+{
+    return makeNary(RegexOp::Alt, std::move(children));
+}
+
+RegexPtr
+regexStar(RegexPtr child)
+{
+    return makeUnary(RegexOp::Star, std::move(child));
+}
+
+RegexPtr
+regexPlus(RegexPtr child)
+{
+    return makeUnary(RegexOp::Plus, std::move(child));
+}
+
+RegexPtr
+regexOpt(RegexPtr child)
+{
+    return makeUnary(RegexOp::Opt, std::move(child));
+}
+
+RegexPtr
+regexRepeat(RegexPtr child, int min, int max)
+{
+    PAP_ASSERT(min >= 0 && (max == -1 || max >= min),
+               "bad repeat bounds {", min, ",", max, "}");
+    auto n = makeUnary(RegexOp::Repeat, std::move(child));
+    n->repeatMin = min;
+    n->repeatMax = max;
+    return n;
+}
+
+namespace {
+
+/** Recursive-descent regex parser over a pattern string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &pattern) : text(pattern) {}
+
+    RegexPtr
+    parse()
+    {
+        if (text.empty())
+            throw RegexError("empty pattern", 0);
+        RegexPtr result = parseAlt();
+        if (pos != text.size())
+            throw RegexError("unexpected character '" +
+                             std::string(1, text[pos]) + "'", pos);
+        return result;
+    }
+
+  private:
+    const std::string &text;
+    std::size_t pos = 0;
+
+    bool atEnd() const { return pos >= text.size(); }
+
+    char
+    peek() const
+    {
+        PAP_ASSERT(!atEnd());
+        return text[pos];
+    }
+
+    char
+    take()
+    {
+        if (atEnd())
+            throw RegexError("unexpected end of pattern", pos);
+        return text[pos++];
+    }
+
+    RegexPtr
+    parseAlt()
+    {
+        std::vector<RegexPtr> branches;
+        branches.push_back(parseConcat());
+        while (!atEnd() && peek() == '|') {
+            ++pos;
+            branches.push_back(parseConcat());
+        }
+        return makeNary(RegexOp::Alt, std::move(branches));
+    }
+
+    RegexPtr
+    parseConcat()
+    {
+        std::vector<RegexPtr> parts;
+        while (!atEnd() && peek() != '|' && peek() != ')')
+            parts.push_back(parseQuantified());
+        if (parts.empty())
+            throw RegexError("empty alternative", pos);
+        return makeNary(RegexOp::Concat, std::move(parts));
+    }
+
+    RegexPtr
+    parseQuantified()
+    {
+        RegexPtr atom = parseAtom();
+        while (!atEnd()) {
+            const char c = peek();
+            if (c == '*') {
+                ++pos;
+                atom = makeUnary(RegexOp::Star, std::move(atom));
+            } else if (c == '+') {
+                ++pos;
+                atom = makeUnary(RegexOp::Plus, std::move(atom));
+            } else if (c == '?') {
+                ++pos;
+                atom = makeUnary(RegexOp::Opt, std::move(atom));
+            } else if (c == '{') {
+                atom = parseBounds(std::move(atom));
+            } else {
+                break;
+            }
+        }
+        return atom;
+    }
+
+    RegexPtr
+    parseBounds(RegexPtr atom)
+    {
+        const std::size_t open = pos;
+        ++pos; // consume '{'
+        const int min = parseNumber();
+        int max = min;
+        if (!atEnd() && peek() == ',') {
+            ++pos;
+            max = (!atEnd() && peek() == '}') ? -1 : parseNumber();
+        }
+        if (atEnd() || take() != '}')
+            throw RegexError("unterminated bound", open);
+        if (max != -1 && max < min)
+            throw RegexError("bound max below min", open);
+        return regexRepeat(std::move(atom), min, max);
+    }
+
+    int
+    parseNumber()
+    {
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            throw RegexError("expected number", pos);
+        long v = 0;
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+            v = v * 10 + (take() - '0');
+            if (v > 4096)
+                throw RegexError("repetition bound too large", pos);
+        }
+        return static_cast<int>(v);
+    }
+
+    RegexPtr
+    parseAtom()
+    {
+        const char c = take();
+        switch (c) {
+          case '(': {
+            RegexPtr inner = parseAlt();
+            if (atEnd() || take() != ')')
+                throw RegexError("unbalanced parenthesis", pos);
+            return inner;
+          }
+          case '[':
+            return regexLiteral(parseClass());
+          case '.':
+            return regexLiteral(CharClass::all());
+          case '\\':
+            return regexLiteral(parseEscape());
+          case '*': case '+': case '?': case ')': case '|': case '{':
+            throw RegexError(std::string("misplaced '") + c + "'",
+                             pos - 1);
+          default:
+            return regexLiteral(CharClass::single(
+                static_cast<Symbol>(static_cast<unsigned char>(c))));
+        }
+    }
+
+    CharClass
+    parseEscape()
+    {
+        const char c = take();
+        switch (c) {
+          case 'n': return CharClass::single('\n');
+          case 'r': return CharClass::single('\r');
+          case 't': return CharClass::single('\t');
+          case '0': return CharClass::single('\0');
+          case 'd': return CharClass::range('0', '9');
+          case 'D': return CharClass::range('0', '9').complement();
+          case 'w': return wordClass();
+          case 'W': return wordClass().complement();
+          case 's': return CharClass::fromString(" \t\n\r\f\v");
+          case 'S':
+            return CharClass::fromString(" \t\n\r\f\v").complement();
+          case 'x': {
+            const int hi = hexDigit(take());
+            const int lo = hexDigit(take());
+            return CharClass::single(static_cast<Symbol>(hi * 16 + lo));
+          }
+          default:
+            // Escaped punctuation (and anything else) means itself.
+            return CharClass::single(
+                static_cast<Symbol>(static_cast<unsigned char>(c)));
+        }
+    }
+
+    static CharClass
+    wordClass()
+    {
+        CharClass c = CharClass::range('a', 'z');
+        c |= CharClass::range('A', 'Z');
+        c |= CharClass::range('0', '9');
+        c.set('_');
+        return c;
+    }
+
+    int
+    hexDigit(char c)
+    {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        throw RegexError("bad hex digit", pos - 1);
+    }
+
+    CharClass
+    parseClass()
+    {
+        const std::size_t open = pos - 1;
+        bool negated = false;
+        if (!atEnd() && peek() == '^') {
+            negated = true;
+            ++pos;
+        }
+        CharClass cls;
+        bool first = true;
+        while (true) {
+            if (atEnd())
+                throw RegexError("unterminated character class", open);
+            char c = peek();
+            if (c == ']' && !first) {
+                ++pos;
+                break;
+            }
+            first = false;
+            CharClass piece;
+            int lo = -1;
+            if (c == '\\') {
+                ++pos;
+                piece = parseEscape();
+                if (piece.count() == 1)
+                    lo = piece.lowest();
+            } else {
+                ++pos;
+                lo = static_cast<unsigned char>(c);
+                piece = CharClass::single(static_cast<Symbol>(lo));
+            }
+            // Range "a-z" (only when both endpoints are single chars).
+            if (lo >= 0 && !atEnd() && peek() == '-' &&
+                pos + 1 < text.size() && text[pos + 1] != ']') {
+                ++pos; // consume '-'
+                char hc = take();
+                int hi;
+                if (hc == '\\') {
+                    const CharClass esc = parseEscape();
+                    if (esc.count() != 1)
+                        throw RegexError("bad range endpoint", pos);
+                    hi = esc.lowest();
+                } else {
+                    hi = static_cast<unsigned char>(hc);
+                }
+                if (hi < lo)
+                    throw RegexError("inverted range", pos);
+                piece = CharClass::range(static_cast<Symbol>(lo),
+                                         static_cast<Symbol>(hi));
+            }
+            cls |= piece;
+        }
+        return negated ? cls.complement() : cls;
+    }
+};
+
+} // namespace
+
+RegexPtr
+parseRegex(const std::string &pattern)
+{
+    return Parser(pattern).parse();
+}
+
+RegexPtr
+expandRepeats(RegexPtr node)
+{
+    for (auto &child : node->children)
+        child = expandRepeats(std::move(child));
+    if (node->op != RegexOp::Repeat)
+        return node;
+
+    const int min = node->repeatMin;
+    const int max = node->repeatMax;
+    RegexPtr child = std::move(node->children.front());
+
+    std::vector<RegexPtr> parts;
+    for (int i = 0; i < min; ++i)
+        parts.push_back(child->clone());
+    if (max == -1) {
+        parts.push_back(makeUnary(RegexOp::Star, child->clone()));
+    } else {
+        for (int i = min; i < max; ++i)
+            parts.push_back(makeUnary(RegexOp::Opt, child->clone()));
+    }
+    if (parts.empty()) {
+        // {0,0}: matches only the empty string.
+        return makeUnary(RegexOp::Opt,
+                         regexLiteral(CharClass())); // empty class
+    }
+    return makeNary(RegexOp::Concat, std::move(parts));
+}
+
+bool
+regexNullable(const RegexNode &node)
+{
+    switch (node.op) {
+      case RegexOp::Literal:
+        return false;
+      case RegexOp::Concat:
+        for (const auto &c : node.children)
+            if (!regexNullable(*c))
+                return false;
+        return true;
+      case RegexOp::Alt:
+        for (const auto &c : node.children)
+            if (regexNullable(*c))
+                return true;
+        return false;
+      case RegexOp::Star:
+      case RegexOp::Opt:
+        return true;
+      case RegexOp::Plus:
+        return regexNullable(*node.children.front());
+      case RegexOp::Repeat:
+        return node.repeatMin == 0 ||
+               regexNullable(*node.children.front());
+    }
+    PAP_PANIC("unreachable regex op");
+}
+
+namespace {
+
+/** Render a literal so the result re-parses to the same class. */
+void
+appendLiteral(std::ostringstream &os, const CharClass &cls)
+{
+    if (cls.full()) {
+        os << '.';
+        return;
+    }
+    if (cls.count() == 1) {
+        const int c = cls.lowest();
+        if (std::isalnum(c)) {
+            os << static_cast<char>(c);
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+            os << buf;
+        }
+        return;
+    }
+    // CharClass::toString emits a bracket expression whose members
+    // are escaped compatibly with the parser.
+    os << cls.toString();
+}
+
+} // namespace
+
+std::string
+regexToString(const RegexNode &node)
+{
+    std::ostringstream os;
+    switch (node.op) {
+      case RegexOp::Literal:
+        appendLiteral(os, node.cls);
+        break;
+      case RegexOp::Concat:
+        for (const auto &c : node.children)
+            os << regexToString(*c);
+        break;
+      case RegexOp::Alt:
+        os << '(';
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+            if (i)
+                os << '|';
+            os << regexToString(*node.children[i]);
+        }
+        os << ')';
+        break;
+      case RegexOp::Star:
+        os << '(' << regexToString(*node.children.front()) << ")*";
+        break;
+      case RegexOp::Plus:
+        os << '(' << regexToString(*node.children.front()) << ")+";
+        break;
+      case RegexOp::Opt:
+        os << '(' << regexToString(*node.children.front()) << ")?";
+        break;
+      case RegexOp::Repeat:
+        os << '(' << regexToString(*node.children.front()) << "){"
+           << node.repeatMin << ',';
+        if (node.repeatMax >= 0)
+            os << node.repeatMax;
+        os << '}';
+        break;
+    }
+    return os.str();
+}
+
+} // namespace pap

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regular-expression abstract syntax tree and parser.
+ *
+ * The supported syntax covers what the Regex and ANMLZoo rulesets need:
+ * literals, '.', escapes (\n, \t, \r, \0, \xHH, \d \D \w \W \s \S, and
+ * escaped punctuation), character classes with ranges and negation,
+ * grouping, alternation, and the *, +, ?, {m}, {m,}, {m,n} quantifiers.
+ */
+
+#ifndef PAP_NFA_REGEX_H
+#define PAP_NFA_REGEX_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/charclass.h"
+
+namespace pap {
+
+/** Node kinds of the regex AST. */
+enum class RegexOp
+{
+    Literal, ///< one character class
+    Concat,  ///< children in sequence
+    Alt,     ///< any one child
+    Star,    ///< zero or more of child
+    Plus,    ///< one or more of child
+    Opt,     ///< zero or one of child
+    Repeat   ///< bounded repetition of child
+};
+
+/** One regex AST node. Owned exclusively by its parent. */
+struct RegexNode
+{
+    RegexOp op;
+    /** Label when op == Literal. */
+    CharClass cls;
+    /** Bounds when op == Repeat; repeatMax == -1 means unbounded. */
+    int repeatMin = 0;
+    int repeatMax = 0;
+    std::vector<std::unique_ptr<RegexNode>> children;
+
+    /** Deep copy (needed to expand bounded repetitions). */
+    std::unique_ptr<RegexNode> clone() const;
+};
+
+using RegexPtr = std::unique_ptr<RegexNode>;
+
+/** Build a Literal node. */
+RegexPtr regexLiteral(const CharClass &cls);
+
+/** Build an n-ary Concat node (flattens nothing; children as given). */
+RegexPtr regexConcat(std::vector<RegexPtr> children);
+
+/** Build an n-ary Alt node. */
+RegexPtr regexAlt(std::vector<RegexPtr> children);
+
+/** Build a unary quantifier node. */
+RegexPtr regexStar(RegexPtr child);
+RegexPtr regexPlus(RegexPtr child);
+RegexPtr regexOpt(RegexPtr child);
+RegexPtr regexRepeat(RegexPtr child, int min, int max);
+
+/**
+ * Parse @p pattern into an AST.
+ * @throws RegexError (std::runtime_error) on malformed input.
+ */
+RegexPtr parseRegex(const std::string &pattern);
+
+/** Error thrown by parseRegex with a position-annotated message. */
+class RegexError : public std::runtime_error
+{
+  public:
+    RegexError(const std::string &msg, std::size_t pos);
+
+    /** Byte offset in the pattern where parsing failed. */
+    std::size_t position() const { return errorPos; }
+
+  private:
+    std::size_t errorPos;
+};
+
+/**
+ * Rewrite Repeat nodes into Concat/Opt/Star equivalents so downstream
+ * compilers only see the six core operators. Returns the rewritten tree
+ * (the input is consumed).
+ */
+RegexPtr expandRepeats(RegexPtr node);
+
+/** True if the expression can match the empty string. */
+bool regexNullable(const RegexNode &node);
+
+/** Render the AST back to a normalized pattern string (for debugging). */
+std::string regexToString(const RegexNode &node);
+
+} // namespace pap
+
+#endif // PAP_NFA_REGEX_H

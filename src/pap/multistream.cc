@@ -1,0 +1,99 @@
+#include "pap/multistream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "engine/functional_engine.h"
+#include "pap/runner.h"
+
+namespace pap {
+
+MultiStreamResult
+runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
+               const ApConfig &config, const PapOptions &options)
+{
+    PAP_ASSERT(nfa.finalized(), "runMultiStream on unfinalized NFA");
+    PAP_ASSERT(!streams.empty(), "no streams given");
+    if (streams.size() > config.svcEntriesPerDevice)
+        PAP_FATAL("cannot multiplex ", streams.size(),
+                  " streams: the State Vector Cache holds ",
+                  config.svcEntriesPerDevice, " flow contexts");
+
+    const CompiledNfa cnfa(nfa);
+    EngineScratch scratch(nfa.size());
+
+    struct StreamFlow
+    {
+        FunctionalEngine engine;
+        std::uint64_t consumed = 0;
+        Cycles doneAt = 0;
+        bool done = false;
+
+        StreamFlow(const CompiledNfa &c, EngineScratch &s)
+            : engine(c, /*starts=*/true, &s)
+        {}
+    };
+
+    std::vector<StreamFlow> flows;
+    flows.reserve(streams.size());
+    std::uint64_t total_symbols = 0;
+    for (const auto &stream : streams) {
+        flows.emplace_back(cnfa, scratch);
+        flows.back().engine.reset(cnfa.initialActive(), 0);
+        total_symbols += stream.size();
+    }
+
+    MultiStreamResult result;
+    result.streamDone.assign(streams.size(), 0);
+    result.reports.resize(streams.size());
+
+    const std::uint64_t quantum = options.tdmQuantum;
+    Cycles now = 0;
+    std::size_t live = streams.size();
+    while (live > 0) {
+        const std::size_t live_this_round = live;
+        for (std::size_t i = 0; i < flows.size(); ++i) {
+            auto &flow = flows[i];
+            if (flow.done)
+                continue;
+            const std::uint64_t chunk = std::min<std::uint64_t>(
+                quantum, streams[i].size() - flow.consumed);
+            flow.engine.run(streams[i].ptr(flow.consumed), chunk);
+            flow.consumed += chunk;
+            now += chunk;
+            if (live_this_round > 1) {
+                now += options.contextSwitchCycles;
+                result.switchCycles += options.contextSwitchCycles;
+            }
+            if (flow.consumed == streams[i].size()) {
+                flow.done = true;
+                flow.doneAt = now;
+                result.streamDone[i] = now;
+                --live;
+            }
+        }
+    }
+    result.totalCycles = now;
+    result.overheadRatio =
+        total_symbols ? static_cast<double>(now) /
+                            static_cast<double>(total_symbols)
+                      : 1.0;
+
+    // Collect reports and verify each stream against its standalone
+    // sequential execution.
+    result.verified = true;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        result.reports[i] = flows[i].engine.takeReports();
+        sortAndDedupReports(result.reports[i]);
+        const SequentialResult solo =
+            runSequential(nfa, streams[i], options);
+        if (result.reports[i] != solo.reports) {
+            result.verified = false;
+            PAP_PANIC("multiplexed stream ", i,
+                      " diverged from its standalone execution");
+        }
+    }
+    return result;
+}
+
+} // namespace pap

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tunables of the Parallel Automata Processor framework. Defaults
+ * follow the paper: 3-cycle flow switches, convergence checks every 10
+ * TDM steps, extra deactivation checks before the first TDM step
+ * completes, and host-side costs calibrated to Section 4.2 / Fig. 11.
+ */
+
+#ifndef PAP_PAP_OPTIONS_H
+#define PAP_PAP_OPTIONS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pap {
+
+/** Knobs for one PAP run. Every optimization can be ablated. */
+struct PapOptions
+{
+    /**
+     * Symbols each flow processes before a context switch (the TDM
+     * quantum k of Section 3.2). 125 symbols puts the worst-case
+     * switching overhead at 3/(125+3) = 2.3%, matching the paper's
+     * reported worst case (ClamAV, Fig. 10).
+     */
+    std::uint32_t tdmQuantum = 125;
+
+    /** Convergence checks run every this many TDM steps (Sec. 3.3.3). */
+    std::uint32_t convergenceCheckPeriod = 10;
+
+    /**
+     * Granularity of the extra deactivation checks performed before
+     * the first TDM step completes (Section 3.3.4).
+     */
+    std::uint32_t earlyCheckGranularity = 16;
+
+    /** Merge enumeration paths of disjoint connected components. */
+    bool enableCcMerging = true;
+
+    /** One enumeration path per parent state instead of per range state. */
+    bool enableParentMerging = true;
+
+    /**
+     * Exclude Active State Group states from enumeration paths (their
+     * activity runs in the dedicated always-true ASG flow).
+     */
+    bool enableAsgMerging = true;
+
+    /** Dynamic convergence checks between flows. */
+    bool enableConvergenceChecks = true;
+
+    /** Deactivation of empty flows (affects the timing model). */
+    bool enableDeactivationChecks = true;
+
+    /** Propagate Flow Invalidation Vectors between segments. */
+    bool enableFiv = true;
+
+    /** Flow context-switch cost (3 on D480; 6/12 for sensitivity). */
+    Cycles contextSwitchCycles = 3;
+
+    /**
+     * Host decode: fixed cost of interpreting an uploaded vector
+     * ("a few tens of symbol cycles", Section 3.4). Uploads of
+     * different segments' vectors proceed in parallel (separate
+     * devices); only this decode step chains serially.
+     */
+    Cycles decodeBaseCycles = 32;
+
+    /** Host decode: additional cost per live flow. */
+    Cycles decodePerFlowCycles = 2;
+
+    /**
+     * Host cost per output-buffer entry drained, in AP symbol cycles.
+     * The Xeon host filters an entry in a few CPU cycles while the AP
+     * streams at 7.5 ns/symbol, so one entry costs well under one
+     * symbol cycle (output reporting is ~1% of execution, Sec. 5.3).
+     */
+    double reportCostCyclesPerEvent = 0.05;
+
+    /**
+     * Cap parallel time at sequential time (the golden-execution
+     * guarantee of Section 5.1).
+     */
+    bool applyGoldenCap = true;
+
+    /** Cross-check composed reports against a sequential run. */
+    bool verifyAgainstSequential = true;
+
+    /**
+     * Hard ceiling on enumeration flows per segment; runs needing
+     * more fail fast (the SVC holds 512 contexts per device).
+     */
+    std::uint32_t maxFlowsPerSegment = 1u << 20;
+
+    /**
+     * Routing-constraint hint: minimum half-cores one FSM copy
+     * occupies (densely connected automata are distributed across
+     * multiple dies by the AP compiler, Section 4.1).
+     */
+    std::uint32_t routingMinHalfCores = 1;
+};
+
+} // namespace pap
+
+#endif // PAP_PAP_OPTIONS_H

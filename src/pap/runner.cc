@@ -1,0 +1,264 @@
+#include "pap/runner.h"
+
+#include <algorithm>
+
+#include "ap/placement.h"
+#include "common/logging.h"
+#include "engine/functional_engine.h"
+#include "nfa/analysis.h"
+#include "pap/composer.h"
+#include "pap/flow_plan.h"
+#include "pap/partitioner.h"
+#include "pap/segment_sim.h"
+#include "pap/timeline.h"
+
+namespace pap {
+
+SequentialResult
+runSequential(const Nfa &nfa, const InputTrace &input,
+              const PapOptions &options)
+{
+    CompiledNfa cnfa(nfa);
+    FunctionalEngine engine(cnfa, /*starts=*/true);
+    engine.reset(cnfa.initialActive(), 0);
+    engine.run(input.begin(), input.size());
+
+    SequentialResult result;
+    result.matches = engine.counters().matches;
+    result.reports = engine.takeReports();
+    const std::uint64_t entries = result.reports.size();
+    sortAndDedupReports(result.reports);
+    result.cycles =
+        input.size() +
+        static_cast<Cycles>(options.reportCostCyclesPerEvent *
+                            static_cast<double>(entries));
+    return result;
+}
+
+namespace {
+
+/** Fill the Table-1/Figure-8 independent fields of the result. */
+void
+describeRun(PapResult &result, const Nfa &nfa,
+            std::uint32_t num_segments, const Placement &placement)
+{
+    result.name = nfa.name();
+    result.numSegments = num_segments;
+    result.idealSpeedup = num_segments;
+    result.halfCoresPerCopy = placement.halfCoresPerCopy;
+}
+
+} // namespace
+
+PapResult
+runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
+       const PapOptions &options)
+{
+    PAP_ASSERT(nfa.finalized(), "runPap on unfinalized NFA");
+    PAP_ASSERT(!input.empty(), "runPap on empty input");
+
+    PapResult result;
+
+    // --- Static analysis & placement -------------------------------
+    const CompiledNfa cnfa(nfa);
+    const Components comps = connectedComponents(nfa);
+    const RangeAnalysis ranges(nfa);
+    const std::vector<StateId> asg = alwaysActiveStates(nfa);
+    const Placement placement = placeAutomaton(
+        nfa, comps, config, options.routingMinHalfCores);
+
+    // Segments: limited by half-cores, and by the rule that a segment
+    // should span at least a couple of TDM quanta to be worth a flow.
+    std::uint32_t num_segments = placement.inputSegments(config);
+    const std::uint64_t min_seg = 2ull * options.tdmQuantum;
+    num_segments = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(num_segments,
+                                   input.size() / min_seg)));
+    describeRun(result, nfa, num_segments, placement);
+
+    // --- Sequential baseline (also the verification oracle) --------
+    const SequentialResult seq = runSequential(nfa, input, options);
+    result.baselineCycles = seq.cycles;
+    result.seqReportEvents = seq.reports.size();
+
+    if (num_segments == 1) {
+        result.papCycles = seq.cycles;
+        result.speedup = 1.0;
+        result.reports = seq.reports;
+        result.papReportEvents = seq.reports.size();
+        result.verified = true;
+        return result;
+    }
+
+    // --- Partitioning ----------------------------------------------
+    const PartitionProfile profile =
+        choosePartitionSymbol(ranges, input, num_segments);
+    result.boundarySymbol = profile.symbol;
+    result.boundaryRangeSize = profile.rangeSize;
+    const std::vector<Segment> segs =
+        partitionInput(input, profile.symbol, num_segments);
+    result.numSegments = static_cast<std::uint32_t>(segs.size());
+    result.idealSpeedup = result.numSegments;
+
+    // --- Per-segment simulation -------------------------------------
+    EngineScratch scratch(nfa.size());
+    std::vector<FlowPlan> plans(segs.size());
+    std::vector<SegmentRun> runs;
+    runs.reserve(segs.size());
+
+    std::uint64_t flow_transitions = 0;
+    double sum_in_range = 0, sum_after_cc = 0, sum_after_parent = 0;
+
+    for (std::size_t j = 0; j < segs.size(); ++j) {
+        const Segment &s = segs[j];
+        if (j == 0) {
+            runs.push_back(runGoldenSegment(cnfa, input.ptr(s.begin),
+                                            s.begin, s.length(),
+                                            scratch));
+        } else {
+            const Symbol boundary = input[s.begin - 1];
+            plans[j] = buildFlowPlan(nfa, comps, asg, boundary, options);
+            sum_in_range += plans[j].flowsInRange;
+            sum_after_cc += plans[j].flowsAfterCc;
+            sum_after_parent += plans[j].flowsAfterParent;
+            runs.push_back(runEnumSegment(cnfa, plans[j], asg,
+                                          input.ptr(s.begin), s.begin,
+                                          s.length(), options, scratch));
+        }
+        for (const auto &rec : runs.back().flows) {
+            flow_transitions += rec.counters.matches;
+            result.flowSymbolCycles += rec.counters.symbols;
+        }
+        result.maxFlowsPerSegment = std::max(
+            result.maxFlowsPerSegment,
+            static_cast<std::uint32_t>(plans[j].flows.size()));
+    }
+    if (result.maxFlowsPerSegment > config.svcEntriesPerDevice) {
+        result.svcOverflow = true;
+        warn("'", nfa.name(), "' needs up to ",
+             result.maxFlowsPerSegment,
+             " flows per segment, above the ",
+             config.svcEntriesPerDevice,
+             "-entry State Vector Cache; flow merging left the "
+             "machine over capacity (modeled without batching)");
+    }
+    const double enum_segments = static_cast<double>(segs.size() - 1);
+    result.flowsInRange = sum_in_range / enum_segments;
+    result.flowsAfterCc = sum_after_cc / enum_segments;
+    result.flowsAfterParent = sum_after_parent / enum_segments;
+    result.transitionRatio =
+        seq.matches ? static_cast<double>(flow_transitions) /
+                          static_cast<double>(seq.matches)
+                    : 1.0;
+    result.flowTransitions = flow_transitions;
+    result.seqTransitions = seq.matches;
+
+    // --- Composition chain ------------------------------------------
+    std::vector<SegmentTruth> truths;
+    truths.reserve(segs.size());
+    truths.push_back(composeGolden(runs[0]));
+    for (std::size_t j = 1; j < segs.size(); ++j)
+        truths.push_back(composeEnum(cnfa, comps, plans[j], runs[j],
+                                     truths[j - 1].finalActive));
+
+    std::uint64_t pap_entries = 0;
+    for (std::size_t j = 0; j < truths.size(); ++j) {
+        pap_entries += truths[j].totalEntries;
+        result.reports.insert(result.reports.end(),
+                              truths[j].trueReports.begin(),
+                              truths[j].trueReports.end());
+    }
+    sortAndDedupReports(result.reports);
+    result.papReportEvents = pap_entries;
+    result.reportInflation =
+        result.seqReportEvents
+            ? static_cast<double>(pap_entries) /
+                  static_cast<double>(result.seqReportEvents)
+            : (pap_entries ? static_cast<double>(pap_entries) : 1.0);
+
+    // --- Verification ------------------------------------------------
+    if (options.verifyAgainstSequential) {
+        if (result.reports != seq.reports)
+            PAP_PANIC("composed parallel reports diverge from the "
+                      "sequential execution for '",
+                      nfa.name(), "': ", result.reports.size(),
+                      " composed vs ", seq.reports.size(),
+                      " sequential");
+        result.verified = true;
+    }
+
+    // --- Timeline -----------------------------------------------------
+    std::vector<SegmentTimingInput> timing_in(segs.size());
+    for (std::size_t j = 0; j < segs.size(); ++j) {
+        timing_in[j].segLen = segs[j].length();
+        timing_in[j].totalEntries = truths[j].totalEntries;
+        timing_in[j].aliveEnumFlowsAtEnd = truths[j].aliveEnumFlowsAtEnd;
+        timing_in[j].hasEnumFlows = j > 0 && !plans[j].flows.empty();
+        for (const auto &rec : runs[j].flows) {
+            FlowTimingInfo info;
+            info.kind = rec.kind;
+            info.symbolsProcessed = rec.symbolsProcessed;
+            info.isTrue =
+                rec.kind != FlowKind::Enum ||
+                (rec.id < truths[j].flowTrue.size() &&
+                 truths[j].flowTrue[rec.id] != 0);
+            timing_in[j].flows.push_back(info);
+        }
+    }
+    const TimelineResult timeline =
+        simulateTimeline(timing_in, result.seqReportEvents, input.size(),
+                         options, config.timing);
+    result.papCycles = timeline.papCycles;
+    result.baselineCycles = timeline.baselineCycles;
+    result.speedup = timeline.speedup;
+    result.goldenCapped = timeline.goldenCapped;
+    result.avgActiveFlows = timeline.avgActiveFlows;
+    result.switchOverheadPct =
+        timeline.busyCycles
+            ? 100.0 * static_cast<double>(timeline.switchCycles) /
+                  static_cast<double>(timeline.busyCycles)
+            : 0.0;
+    // Per-segment diagnostics.
+    result.segments.resize(segs.size());
+    for (std::size_t j = 0; j < segs.size(); ++j) {
+        auto &diag = result.segments[j];
+        diag.begin = segs[j].begin;
+        diag.length = segs[j].length();
+        diag.flows = static_cast<std::uint32_t>(plans[j].flows.size());
+        diag.totalPaths =
+            static_cast<std::uint32_t>(plans[j].paths.size());
+        for (const auto t : truths[j].pathTrue)
+            diag.truePaths += t;
+        for (const auto &rec : runs[j].flows) {
+            if (rec.kind != FlowKind::Enum)
+                continue;
+            switch (rec.cause) {
+              case DeathCause::Deactivated: ++diag.deactivated; break;
+              case DeathCause::Converged: ++diag.converged; break;
+              case DeathCause::RanToEnd: ++diag.ranToEnd; break;
+            }
+        }
+        diag.tDone = timeline.tDone[j];
+        diag.tResolve = timeline.tResolve[j];
+        diag.entries = truths[j].totalEntries;
+    }
+
+    result.contextSwitches =
+        options.contextSwitchCycles
+            ? timeline.switchCycles / options.contextSwitchCycles
+            : 0;
+    for (const Cycles tcpu : timeline.tcpuCycles)
+        if (tcpu >= config.timing.stateVectorUploadCycles)
+            ++result.stateVectorUploads;
+    double tcpu_sum = 0;
+    for (std::size_t j = 1; j < timeline.tcpuCycles.size(); ++j)
+        tcpu_sum += static_cast<double>(timeline.tcpuCycles[j]);
+    result.avgTcpuCycles =
+        timeline.tcpuCycles.size() > 1
+            ? tcpu_sum /
+                  static_cast<double>(timeline.tcpuCycles.size() - 1)
+            : 0.0;
+    return result;
+}
+
+} // namespace pap

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * End-to-end PAP run: analysis, placement, range-guided partitioning,
+ * per-segment flow enumeration and TDM execution, host composition,
+ * timeline simulation, and (optionally) verification of the composed
+ * reports against a sequential execution. This is the public entry
+ * point the examples and benches use.
+ */
+
+#ifndef PAP_PAP_RUNNER_H
+#define PAP_PAP_RUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ap/ap_config.h"
+#include "engine/report.h"
+#include "engine/trace.h"
+#include "nfa/nfa.h"
+#include "pap/options.h"
+
+namespace pap {
+
+/** Result of a plain sequential AP execution (the baseline). */
+struct SequentialResult
+{
+    /** Sorted, deduplicated report events. */
+    std::vector<ReportEvent> reports;
+    /** Baseline cycles: symbols plus host report processing. */
+    Cycles cycles = 0;
+    /** State matches (transitions) performed. */
+    std::uint64_t matches = 0;
+};
+
+/** Run @p nfa sequentially over @p input. */
+SequentialResult runSequential(const Nfa &nfa, const InputTrace &input,
+                               const PapOptions &options = {});
+
+/** Everything a PAP run produces, including the per-figure metrics. */
+struct PapResult
+{
+    std::string name;
+
+    // Configuration echo (Table 1).
+    std::uint32_t numSegments = 1;
+    std::uint32_t idealSpeedup = 1;
+    std::uint32_t halfCoresPerCopy = 1;
+    Symbol boundarySymbol = 0;
+    std::uint32_t boundaryRangeSize = 0;
+
+    // Headline numbers (Figure 8).
+    double speedup = 1.0;
+    Cycles papCycles = 0;
+    Cycles baselineCycles = 0;
+    bool goldenCapped = false;
+
+    // Flow statistics, averaged over enumeration segments (Figure 9).
+    double flowsInRange = 0.0;
+    double flowsAfterCc = 0.0;
+    double flowsAfterParent = 0.0;
+    double avgActiveFlows = 0.0;
+
+    // Overheads (Figures 10-12).
+    double switchOverheadPct = 0.0;
+    double avgTcpuCycles = 0.0;
+    std::uint64_t seqReportEvents = 0;
+    std::uint64_t papReportEvents = 0;
+    double reportInflation = 1.0;
+
+    // Energy accounting (Section 5.3).
+    /** Flow transitions relative to sequential (paper: 2.4x avg). */
+    double transitionRatio = 1.0;
+    /** Total state transitions across all flows. */
+    std::uint64_t flowTransitions = 0;
+    /** State transitions of the sequential baseline. */
+    std::uint64_t seqTransitions = 0;
+    /** Flow context switches performed. */
+    std::uint64_t contextSwitches = 0;
+    /** State vectors uploaded to the host. */
+    std::uint64_t stateVectorUploads = 0;
+    /** Sum over all flows of symbols they processed. */
+    std::uint64_t flowSymbolCycles = 0;
+
+    /** Peak enumeration flows in any segment (SVC pressure). */
+    std::uint32_t maxFlowsPerSegment = 0;
+    /** True if that peak exceeded the 512-entry State Vector Cache. */
+    bool svcOverflow = false;
+
+    /** Composed true reports (equal to the sequential reports). */
+    std::vector<ReportEvent> reports;
+    /** True when verification against the sequential run passed. */
+    bool verified = false;
+
+    /** Per-segment diagnostics (input order). */
+    struct SegmentDiag
+    {
+        std::uint64_t begin = 0;
+        std::uint64_t length = 0;
+        /** Enumeration flows planned for the segment. */
+        std::uint32_t flows = 0;
+        /** Flow outcomes. */
+        std::uint32_t deactivated = 0;
+        std::uint32_t converged = 0;
+        std::uint32_t ranToEnd = 0;
+        /** Enumeration-path truth census. */
+        std::uint32_t truePaths = 0;
+        std::uint32_t totalPaths = 0;
+        /** Timeline landmarks (cycles). */
+        Cycles tDone = 0;
+        Cycles tResolve = 0;
+        /** Output-buffer entries produced. */
+        std::uint64_t entries = 0;
+    };
+    std::vector<SegmentDiag> segments;
+};
+
+/**
+ * Run the full Parallel Automata Processor pipeline.
+ * Panics if verification is enabled and the composed reports differ
+ * from the sequential execution (that is always a PAPsim bug).
+ */
+PapResult runPap(const Nfa &nfa, const InputTrace &input,
+                 const ApConfig &config, const PapOptions &options = {});
+
+} // namespace pap
+
+#endif // PAP_PAP_RUNNER_H

@@ -1,0 +1,201 @@
+#include "pap/segment_sim.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace pap {
+
+SegmentRun
+runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
+                 std::uint64_t seg_begin, std::uint64_t seg_len,
+                 EngineScratch &scratch)
+{
+    SegmentRun run;
+    run.segBegin = seg_begin;
+    run.segLen = seg_len;
+
+    FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
+    engine.reset(cnfa.initialActive(), seg_begin);
+    engine.run(data, seg_len);
+
+    FlowRecord rec;
+    rec.id = 0;
+    rec.kind = FlowKind::Golden;
+    rec.symbolsProcessed = seg_len;
+    rec.cause = DeathCause::RanToEnd;
+    rec.finalSnapshot = engine.snapshot();
+    rec.counters = engine.counters();
+    rec.reports = engine.takeReports();
+    run.flows.push_back(std::move(rec));
+    return run;
+}
+
+namespace {
+
+/** Execution state for one flow during the lockstep TDM loop. */
+struct LiveFlow
+{
+    std::unique_ptr<FunctionalEngine> engine;
+    FlowRecord record;
+    bool alive = true;
+};
+
+} // namespace
+
+SegmentRun
+runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
+               const std::vector<StateId> &asg_seed, const Symbol *data,
+               std::uint64_t seg_begin, std::uint64_t seg_len,
+               const PapOptions &options, EngineScratch &scratch)
+{
+    SegmentRun run;
+    run.segBegin = seg_begin;
+    run.segLen = seg_len;
+
+    std::vector<LiveFlow> live;
+    live.reserve(plan.flows.size() + 1);
+
+    // The ASG flow carries all spontaneous (start-state) activity and
+    // the always-active states; it is always a true flow.
+    int asg_live_index = -1;
+    if (!asg_seed.empty()) {
+        LiveFlow lf;
+        lf.engine = std::make_unique<FunctionalEngine>(
+            cnfa, /*starts=*/true, &scratch);
+        lf.engine->reset(asg_seed, seg_begin);
+        lf.record.id = static_cast<FlowId>(plan.flows.size());
+        lf.record.kind = FlowKind::Asg;
+        asg_live_index = 0;
+        live.push_back(std::move(lf));
+    }
+
+    for (const auto &spec : plan.flows) {
+        LiveFlow lf;
+        lf.engine = std::make_unique<FunctionalEngine>(
+            cnfa, /*starts=*/false, &scratch);
+        lf.engine->reset(spec.seed, seg_begin);
+        lf.record.id = spec.id;
+        lf.record.kind = FlowKind::Enum;
+        lf.record.pathIdx = spec.pathIdx;
+        live.push_back(std::move(lf));
+    }
+
+    const std::uint64_t quantum = options.tdmQuantum;
+    const std::uint64_t early_gran =
+        std::max<std::uint32_t>(1, options.earlyCheckGranularity);
+
+    std::uint64_t processed = 0;
+    std::uint64_t round = 0;
+    while (processed < seg_len) {
+        const std::uint64_t round_end =
+            std::min(processed + quantum, seg_len);
+
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            auto &lf = live[i];
+            if (!lf.alive)
+                continue;
+            const bool is_enum = lf.record.kind == FlowKind::Enum;
+
+            if (is_enum && lf.engine->dead()) {
+                // Already empty; it produces nothing more. Charge it
+                // only up to the boundary where the check would fire.
+                if (options.enableDeactivationChecks) {
+                    lf.alive = false;
+                    lf.record.cause = DeathCause::Deactivated;
+                    lf.record.symbolsProcessed = processed;
+                    continue;
+                }
+            }
+
+            std::uint64_t pos = processed;
+            if (is_enum && round == 0 &&
+                options.enableDeactivationChecks) {
+                // Extra fine-grained deactivation checks before the
+                // first TDM step completes.
+                while (pos < round_end) {
+                    const std::uint64_t chunk_end =
+                        std::min(pos + early_gran, round_end);
+                    lf.engine->run(data + pos, chunk_end - pos);
+                    pos = chunk_end;
+                    if (lf.engine->dead()) {
+                        lf.alive = false;
+                        lf.record.cause = DeathCause::Deactivated;
+                        lf.record.symbolsProcessed = pos;
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            // A dead enumeration engine can never revive (it has no
+            // start machinery), so skip the no-op stepping; ASG and
+            // golden flows always run because AllInput starts re-enable
+            // states every cycle.
+            if (!is_enum || !lf.engine->dead())
+                lf.engine->run(data + pos, round_end - pos);
+
+            if (is_enum && options.enableDeactivationChecks &&
+                lf.engine->dead()) {
+                // Deactivation check at the context switch.
+                lf.alive = false;
+                lf.record.cause = DeathCause::Deactivated;
+                lf.record.symbolsProcessed = round_end;
+            }
+        }
+
+        processed = round_end;
+        ++round;
+
+        // Dynamic convergence checks every N TDM steps.
+        if (options.enableConvergenceChecks &&
+            round % options.convergenceCheckPeriod == 0 &&
+            processed < seg_len) {
+            std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+                buckets;
+            for (std::size_t i = 0; i < live.size(); ++i) {
+                if (!live[i].alive ||
+                    live[i].record.kind != FlowKind::Enum)
+                    continue;
+                buckets[live[i].engine->stateHash()].push_back(i);
+            }
+            for (auto &[hash, members] : buckets) {
+                if (members.size() < 2)
+                    continue;
+                // Lowest index survives; verify equality exactly (the
+                // SVC comparator is bitwise, not a hash).
+                const auto winner_snapshot =
+                    live[members.front()].engine->snapshot();
+                for (std::size_t m = 1; m < members.size(); ++m) {
+                    auto &loser = live[members[m]];
+                    if (loser.engine->snapshot() != winner_snapshot)
+                        continue;
+                    loser.alive = false;
+                    loser.record.cause = DeathCause::Converged;
+                    loser.record.mergedInto =
+                        live[members.front()].record.id;
+                    loser.record.mergeSymbol = processed;
+                    loser.record.symbolsProcessed = processed;
+                }
+            }
+        }
+    }
+
+    // Finalize records.
+    for (auto &lf : live) {
+        if (lf.alive) {
+            lf.record.cause = DeathCause::RanToEnd;
+            lf.record.symbolsProcessed = seg_len;
+            lf.record.finalSnapshot = lf.engine->snapshot();
+        }
+        lf.record.counters = lf.engine->counters();
+        lf.record.reports = lf.engine->takeReports();
+        run.flows.push_back(std::move(lf.record));
+    }
+    run.asgIndex = asg_live_index;
+    return run;
+}
+
+} // namespace pap

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Functional execution of one input segment's flows, time-division
+ * multiplexed exactly as the PAP architecture does it (Section 3.2):
+ * every flow advances one TDM quantum per step; deactivation checks
+ * run at context switches (plus finer-grained checks before the first
+ * TDM step completes, Section 3.3.4); convergence checks run every N
+ * TDM steps and merge flows whose state vectors are bitwise equal
+ * (Section 3.3.3).
+ */
+
+#ifndef PAP_PAP_SEGMENT_SIM_H
+#define PAP_PAP_SEGMENT_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/functional_engine.h"
+#include "pap/flow_plan.h"
+#include "pap/options.h"
+
+namespace pap {
+
+/** Role of a flow within a segment. */
+enum class FlowKind : std::uint8_t
+{
+    Golden, ///< the true path of the first segment
+    Asg,    ///< the always-true Active State Group flow
+    Enum    ///< an enumeration flow
+};
+
+/** Why a flow stopped processing symbols. */
+enum class DeathCause : std::uint8_t
+{
+    RanToEnd,    ///< processed the whole segment
+    Deactivated, ///< state vector became empty (Section 3.3.4)
+    Converged    ///< merged into another flow (Section 3.3.3)
+};
+
+/** Everything recorded about one flow's execution of a segment. */
+struct FlowRecord
+{
+    FlowId id = kInvalidFlow;
+    FlowKind kind = FlowKind::Enum;
+    /** Paths carried by this flow (indices into the FlowPlan). */
+    std::vector<std::uint32_t> pathIdx;
+    /**
+     * Local symbols processed before stopping, rounded up to the
+     * check boundary where the stop was detected (what the timing
+     * model charges).
+     */
+    std::uint64_t symbolsProcessed = 0;
+    DeathCause cause = DeathCause::RanToEnd;
+    /** Winner flow when cause == Converged. */
+    FlowId mergedInto = kInvalidFlow;
+    /** Local symbol index at which the merge happened. */
+    std::uint64_t mergeSymbol = 0;
+    /** Sorted active set at segment end (only when RanToEnd). */
+    std::vector<StateId> finalSnapshot;
+    /** Events this flow's engine emitted (absolute offsets). */
+    std::vector<ReportEvent> reports;
+    /** Engine counters (transitions for the energy analysis). */
+    EngineCounters counters;
+};
+
+/** The outcome of simulating one segment. */
+struct SegmentRun
+{
+    std::uint64_t segBegin = 0;
+    std::uint64_t segLen = 0;
+    std::vector<FlowRecord> flows;
+    /** Index of the ASG flow in @c flows, or -1 if absent. */
+    int asgIndex = -1;
+};
+
+/**
+ * Run the first segment: a single golden flow with full start-state
+ * machinery, seeded with the StartOfData states.
+ */
+SegmentRun runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
+                            std::uint64_t seg_begin, std::uint64_t seg_len,
+                            EngineScratch &scratch);
+
+/**
+ * Run a later segment: the ASG flow (if @p asg_seed is non-empty) plus
+ * one enumeration flow per FlowSpec of @p plan, multiplexed per
+ * @p options.
+ */
+SegmentRun runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
+                          const std::vector<StateId> &asg_seed,
+                          const Symbol *data, std::uint64_t seg_begin,
+                          std::uint64_t seg_len,
+                          const PapOptions &options,
+                          EngineScratch &scratch);
+
+} // namespace pap
+
+#endif // PAP_PAP_SEGMENT_SIM_H

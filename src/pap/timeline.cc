@@ -1,0 +1,132 @@
+#include "pap/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pap {
+
+TimelineResult
+simulateTimeline(const std::vector<SegmentTimingInput> &segments,
+                 std::uint64_t seq_entries, std::uint64_t total_len,
+                 const PapOptions &options, const ApTiming &timing)
+{
+    PAP_ASSERT(!segments.empty(), "timeline needs at least one segment");
+    const std::uint64_t quantum = options.tdmQuantum;
+    const Cycles ctx = options.contextSwitchCycles;
+    const auto kNever = static_cast<Cycles>(-1);
+
+    TimelineResult result;
+    result.baselineCycles =
+        total_len + static_cast<Cycles>(options.reportCostCyclesPerEvent *
+                                        static_cast<double>(seq_entries));
+
+    std::uint64_t rounds_total = 0;
+    std::uint64_t alive_weighted = 0;
+    // When the previous segment's true final active set became known
+    // at the host (gates truth resolution and the FIV of this segment).
+    Cycles prev_truth_avail = 0;
+
+    for (std::size_t j = 0; j < segments.size(); ++j) {
+        const auto &seg = segments[j];
+        const Cycles fiv_arrive =
+            (j == 0 || !options.enableFiv || !seg.hasEnumFlows)
+                ? kNever
+                : prev_truth_avail + timing.fivDownloadCycles;
+
+        // Effective stop point per flow: its own death, possibly
+        // shortened by the FIV for false flows.
+        std::vector<std::uint64_t> stop(seg.flows.size());
+        for (std::size_t f = 0; f < seg.flows.size(); ++f)
+            stop[f] = seg.flows[f].symbolsProcessed;
+
+        Cycles t = 0;
+        std::uint64_t processed = 0;
+        bool fiv_applied = false;
+        while (processed < seg.segLen) {
+            if (!fiv_applied && fiv_arrive != kNever && t >= fiv_arrive) {
+                // Kill false enumeration flows at this round boundary.
+                for (std::size_t f = 0; f < seg.flows.size(); ++f)
+                    if (seg.flows[f].kind == FlowKind::Enum &&
+                        !seg.flows[f].isTrue)
+                        stop[f] = std::min(stop[f], processed);
+                fiv_applied = true;
+            }
+            const std::uint64_t round_end =
+                std::min(processed + quantum, seg.segLen);
+            std::uint32_t live = 0;
+            Cycles symbol_cycles = 0;
+            for (std::size_t f = 0; f < seg.flows.size(); ++f) {
+                if (stop[f] <= processed)
+                    continue;
+                ++live;
+                symbol_cycles += std::min(stop[f], round_end) - processed;
+            }
+            if (live == 0) {
+                // Only dead flows remain (can happen after an FIV kill
+                // in a segment whose true flows all deactivated); the
+                // half-core idles through the rest of the input.
+                processed = seg.segLen;
+                ++rounds_total;
+                break;
+            }
+            const Cycles switch_cost = (live > 1) ? live * ctx : 0;
+            t += symbol_cycles + switch_cost;
+            result.switchCycles += switch_cost;
+            result.busyCycles += symbol_cycles + switch_cost;
+            alive_weighted += live;
+            ++rounds_total;
+            processed = round_end;
+        }
+        result.tDone.push_back(t);
+
+        // Host resolution. The final state vector of a segment
+        // uploads as soon as the segment finishes (uploads of
+        // different segments proceed in parallel on their own
+        // devices); only the cheap host *decode* chains serially
+        // through the truth dependency. Segments without enumeration
+        // flows have final reports at t_done and pay the upload only
+        // when the next segment needs their final active set as T.
+        const bool next_needs_t = (j + 1 < segments.size()) &&
+                                  segments[j + 1].hasEnumFlows;
+        Cycles tcpu = 0;
+        Cycles truth_avail = t;
+        if (seg.hasEnumFlows) {
+            Cycles decode = options.decodeBaseCycles;
+            if (seg.aliveEnumFlowsAtEnd > 0)
+                decode += options.decodePerFlowCycles *
+                          seg.aliveEnumFlowsAtEnd;
+            const Cycles uploaded = t + timing.stateVectorUploadCycles;
+            truth_avail = std::max(uploaded, prev_truth_avail) + decode;
+            tcpu = timing.stateVectorUploadCycles + decode;
+        } else if (next_needs_t) {
+            truth_avail = t + timing.stateVectorUploadCycles;
+            tcpu = timing.stateVectorUploadCycles;
+        }
+        const Cycles drain = static_cast<Cycles>(
+            options.reportCostCyclesPerEvent *
+            static_cast<double>(seg.totalEntries));
+        prev_truth_avail = truth_avail;
+        result.tcpuCycles.push_back(tcpu);
+        result.tResolve.push_back(truth_avail + drain);
+    }
+
+    result.papCycles = 0;
+    for (const Cycles t : result.tResolve)
+        result.papCycles = std::max(result.papCycles, t);
+    if (options.applyGoldenCap &&
+        result.papCycles > result.baselineCycles) {
+        result.papCycles = result.baselineCycles;
+        result.goldenCapped = true;
+    }
+    result.speedup = static_cast<double>(result.baselineCycles) /
+                     static_cast<double>(result.papCycles);
+    result.avgActiveFlows =
+        rounds_total
+            ? static_cast<double>(alive_weighted) /
+                  static_cast<double>(rounds_total)
+            : 0.0;
+    return result;
+}
+
+} // namespace pap

@@ -1,0 +1,220 @@
+#include "workloads/benchmarks.h"
+
+#include "common/logging.h"
+#include "workloads/domain_gen.h"
+#include "workloads/ruleset_gen.h"
+#include "workloads/trace_gen.h"
+
+namespace pap {
+
+namespace {
+
+const std::string kRegexAlphabet =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123";
+
+/** Regex-suite ruleset parameters shared by several benchmarks. */
+RulesetParams
+regexSuiteParams(std::uint32_t count, std::uint64_t seed)
+{
+    RulesetParams p;
+    p.count = count;
+    p.minAtoms = 12;
+    p.maxAtoms = 18;
+    p.alphabet = kRegexAlphabet;
+    p.firstAtomPool = 60;
+    p.seed = seed;
+    return p;
+}
+
+Nfa
+buildByName(const std::string &name, std::uint64_t seed)
+{
+    if (name == "Dotstar03") {
+        RulesetParams p = regexSuiteParams(680, seed);
+        p.dotstarFraction = 0.03;
+        p.classFraction = 0.05;
+        p.separatorFraction = 0.16;
+        return buildRulesetAutomaton(p, name, /*prefix_merge=*/true);
+    }
+    if (name == "Dotstar06") {
+        RulesetParams p = regexSuiteParams(710, seed);
+        p.dotstarFraction = 0.06;
+        p.classFraction = 0.05;
+        p.separatorFraction = 0.30;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "Dotstar09") {
+        RulesetParams p = regexSuiteParams(690, seed);
+        p.dotstarFraction = 0.09;
+        p.classFraction = 0.05;
+        p.separatorFraction = 0.23;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "Ranges05") {
+        RulesetParams p = regexSuiteParams(700, seed);
+        p.classFraction = 0.25;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "Ranges1") {
+        RulesetParams p = regexSuiteParams(680, seed);
+        p.classFraction = 0.5;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "ExactMatch") {
+        RulesetParams p = regexSuiteParams(690, seed);
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "Bro217") {
+        RulesetParams p = regexSuiteParams(217, seed);
+        p.minAtoms = 8;
+        p.maxAtoms = 11;
+        p.classFraction = 0.1;
+        p.separatorFraction = 0.015;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "TCP") {
+        RulesetParams p = regexSuiteParams(830, seed);
+        p.classFraction = 0.2;
+        p.boundedRepFraction = 0.1;
+        p.separatorFraction = 0.6;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "PowerEN1") {
+        RulesetParams p = regexSuiteParams(740, seed);
+        p.classFraction = 0.15;
+        p.boundedRepFraction = 0.05;
+        p.separatorFraction = 0.6;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "Fermi")
+        return buildFermi(17, 1400, 2398, seed);
+    if (name == "RandomForest")
+        return buildRandomForest(1661, 20, seed);
+    if (name == "Dotstar") {
+        RulesetParams p = regexSuiteParams(2400, seed);
+        p.dotstarFraction = 0.06;
+        p.classFraction = 0.05;
+        p.separatorFraction = 0.1;
+        p.firstAtomPool = 90;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "SPM")
+        return buildSpm(5025, 7, seed);
+    if (name == "Hamming")
+        return buildHammingSet(49, 24, 3, seed);
+    if (name == "Protomata")
+        return buildProtomata(2340, 513, seed);
+    if (name == "Levenshtein")
+        return buildLevenshteinSet(4, 24, 3, seed);
+    if (name == "EntityResolution")
+        return buildEntityResolution(5, 210, seed);
+    if (name == "Snort") {
+        RulesetParams p = regexSuiteParams(2100, seed);
+        p.dotstarFraction = 0.01;
+        p.classFraction = 0.2;
+        p.boundedRepFraction = 0.05;
+        p.separatorFraction = 0.33;
+        p.firstAtomPool = 90;
+        return buildRulesetAutomaton(p, name, true);
+    }
+    if (name == "ClamAV")
+        return buildClamAv(515, 90, 102, 0.08, seed);
+    PAP_FATAL("unknown benchmark '", name, "'");
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarkRegistry()
+{
+    // Paper values transcribed from Table 1.
+    static const std::vector<BenchmarkInfo> registry = {
+        {"Dotstar03", {11124, 163, 56, 1, 16, 64}, 1.0},
+        {"Dotstar06", {11598, 315, 54, 1, 16, 64}, 1.0},
+        {"Dotstar09", {11229, 314, 51, 1, 16, 64}, 1.0},
+        {"Ranges05", {11596, 1, 63, 1, 16, 64}, 1.0},
+        {"Ranges1", {11418, 1, 57, 1, 16, 64}, 1.0},
+        {"ExactMatch", {11270, 1, 53, 1, 16, 64}, 1.0},
+        {"Bro217", {1893, 6, 59, 1, 16, 64}, 1.0},
+        {"TCP", {13834, 550, 57, 1, 16, 64}, 1.0},
+        {"PowerEN1", {12195, 466, 62, 1, 16, 64}, 1.0},
+        {"Fermi", {40783, 30027, 2399, 2, 8, 32}, 0.25},
+        {"RandomForest", {33220, 1616, 1661, 2, 8, 32}, 1.0},
+        {"Dotstar", {38951, 600, 90, 2, 8, 32}, 1.0},
+        {"SPM", {100500, 20100, 5025, 2, 8, 32}, 1.0},
+        {"Hamming", {11254, 8151, 49, 2, 8, 32}, 1.0},
+        {"Protomata", {38251, 667, 513, 2, 8, 32}, 1.0},
+        {"Levenshtein", {2660, 2090, 4, 3, 5, 21}, 1.0},
+        {"EntityResolution", {5689, 1515, 5, 3, 5, 21}, 1.0},
+        {"Snort", {34480, 792, 90, 3, 5, 21}, 1.0},
+        {"ClamAV", {49538, 5452, 515, 3, 5, 21}, 1.0},
+    };
+    return registry;
+}
+
+const BenchmarkInfo &
+benchmarkInfo(const std::string &name)
+{
+    for (const auto &info : benchmarkRegistry())
+        if (info.name == name)
+            return info;
+    PAP_FATAL("unknown benchmark '", name, "'");
+}
+
+Nfa
+buildBenchmark(const std::string &name, std::uint64_t seed)
+{
+    benchmarkInfo(name); // validates the name
+    return buildByName(name, seed);
+}
+
+InputTrace
+buildBenchmarkTrace(const Nfa &nfa, const std::string &name,
+                    std::uint64_t len, std::uint64_t seed)
+{
+    benchmarkInfo(name); // validates the name
+    TraceGenOptions opt;
+    opt.pm = 0.75;
+
+    if (name == "Fermi") {
+        opt.baseAlphabet = alphabetFromString("0123456789:;<=>?");
+        opt.pm = 0.5;
+    } else if (name == "RandomForest") {
+        opt.baseAlphabet = alphabetFromString("ABCDEFGHIJKLMNOP");
+    } else if (name == "SPM") {
+        std::string items;
+        for (int i = 0; i < 64; ++i)
+            items += static_cast<char>('0' + i);
+        opt.baseAlphabet = alphabetFromString(items);
+        opt.pm = 0.2;
+        opt.separator = '\r';
+        // Sequence delimiter: bounds gap-state lifetime (and thereby
+        // flow lifetime) like the sequence boundaries of a real
+        // transaction database, while staying just below the
+        // partitioner's frequency-qualification threshold at 4 ranks.
+        opt.separatorPeriod =
+            static_cast<std::uint32_t>(std::max<std::uint64_t>(
+                512, len / 120));
+    } else if (name == "Hamming" || name == "Levenshtein") {
+        opt.baseAlphabet = alphabetFromString(dnaAlphabet());
+    } else if (name == "Protomata") {
+        opt.baseAlphabet = alphabetFromString(aminoAlphabet());
+    } else if (name == "EntityResolution") {
+        opt.baseAlphabet =
+            alphabetFromString("johanesmrilptdk ");
+        opt.separator = ' ';
+        opt.separatorPeriod = 12;
+    } else if (name == "ClamAV") {
+        opt.baseAlphabet = alphabetFromRange(0, 255);
+        opt.pm = 0.5;
+    } else {
+        // Regex suite + Snort: letters with a newline separator that
+        // provides the frequent small-range boundary symbol.
+        opt.baseAlphabet = alphabetFromString(kRegexAlphabet);
+        opt.separator = '\n';
+        opt.separatorPeriod = 24;
+    }
+    return generateTrace(nfa, len, opt, seed);
+}
+
+} // namespace pap

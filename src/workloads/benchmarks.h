@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Registry of the 19 benchmark FSMs of Table 1 (Regex suite +
+ * ANMLZoo). Each entry rebuilds the published structural profile
+ * (state count, connected components, symbol-range behaviour, AP
+ * footprint) with a deterministic synthetic generator, and knows how
+ * to produce its p_m-model input trace. Paper values are carried
+ * alongside for the comparison columns of the bench harnesses.
+ */
+
+#ifndef PAP_WORKLOADS_BENCHMARKS_H
+#define PAP_WORKLOADS_BENCHMARKS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/trace.h"
+#include "nfa/nfa.h"
+
+namespace pap {
+
+/** Published Table-1 numbers for one benchmark. */
+struct PaperRow
+{
+    std::uint32_t states = 0;
+    std::uint32_t range = 0;
+    std::uint32_t components = 0;
+    std::uint32_t halfCores = 1;
+    std::uint32_t segments1Rank = 16;
+    std::uint32_t segments4Rank = 64;
+};
+
+/** One registry entry. */
+struct BenchmarkInfo
+{
+    std::string name;
+    PaperRow paper;
+    /**
+     * Relative cost factor: heavy benchmarks (large active sets) run
+     * their traces scaled by this factor in the default bench
+     * configuration.
+     */
+    double traceScale = 1.0;
+};
+
+/** All 19 benchmarks in Table-1 order. */
+const std::vector<BenchmarkInfo> &benchmarkRegistry();
+
+/** Lookup by name; fatal if unknown. */
+const BenchmarkInfo &benchmarkInfo(const std::string &name);
+
+/** Build the automaton of a registered benchmark. */
+Nfa buildBenchmark(const std::string &name, std::uint64_t seed = 42);
+
+/**
+ * Generate the benchmark's input trace (p_m model with the
+ * benchmark's alphabet and separator policy).
+ */
+InputTrace buildBenchmarkTrace(const Nfa &nfa, const std::string &name,
+                               std::uint64_t len,
+                               std::uint64_t seed = 43);
+
+} // namespace pap
+
+#endif // PAP_WORKLOADS_BENCHMARKS_H

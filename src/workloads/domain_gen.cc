@@ -1,0 +1,401 @@
+#include "workloads/domain_gen.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nfa/builders.h"
+#include "nfa/glushkov.h"
+#include "nfa/prefix_merge.h"
+
+namespace pap {
+
+const std::string &
+aminoAlphabet()
+{
+    static const std::string aminos = "ACDEFGHIKLMNPQRSTVWY";
+    return aminos;
+}
+
+const std::string &
+dnaAlphabet()
+{
+    static const std::string dna = "ACGT";
+    return dna;
+}
+
+namespace {
+
+/** Random class over @p alphabet with @p width members (as CharClass). */
+CharClass
+randomClass(Rng &rng, const std::string &alphabet, int width)
+{
+    CharClass cls;
+    for (int i = 0; i < width; ++i)
+        cls.set(static_cast<Symbol>(static_cast<unsigned char>(
+            alphabet[rng.nextBelow(alphabet.size())])));
+    return cls;
+}
+
+/** Random class atom string like "[LIVM]" for regex-based builders. */
+std::string
+classAtomString(Rng &rng, const std::string &alphabet, int min_w,
+                int max_w)
+{
+    const int width = static_cast<int>(rng.nextInRange(min_w, max_w));
+    std::string out = "[";
+    for (int i = 0; i < width; ++i)
+        out += alphabet[rng.nextBelow(alphabet.size())];
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+Nfa
+buildProtomata(std::uint32_t motifs, std::uint32_t head_pool,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::string &aminos = aminoAlphabet();
+
+    // PROSITE-style "x" (any amino acid) as an explicit class.
+    const std::string any_amino = "[" + aminos + "]";
+
+    std::vector<std::string> heads;
+    for (std::uint32_t i = 0; i < head_pool; ++i)
+        heads.push_back(classAtomString(rng, aminos, 2, 4));
+
+    // Residue usage in real motifs is heavily skewed; picking the
+    // minimum of two uniform draws biases toward low indices, which
+    // leaves the tail residues rare and gives the partitioner a
+    // frequent trace symbol with a small range.
+    auto skewed_amino = [&]() {
+        const std::size_t a = rng.nextBelow(aminos.size());
+        const std::size_t b = rng.nextBelow(aminos.size());
+        return aminos[std::min(a, b)];
+    };
+
+    std::vector<RegexRule> rules;
+    rules.reserve(motifs);
+    for (std::uint32_t m = 0; m < motifs; ++m) {
+        std::ostringstream pattern;
+        pattern << heads[rng.nextBelow(heads.size())];
+        const int atoms = static_cast<int>(rng.nextInRange(12, 19));
+        for (int a = 0; a < atoms; ++a) {
+            const double roll = rng.nextDouble();
+            if (roll < 0.62) {
+                pattern << skewed_amino();
+            } else if (roll < 0.995) {
+                // Residue class with skew-drawn members.
+                const int width =
+                    static_cast<int>(rng.nextInRange(2, 4));
+                pattern << '[';
+                for (int w = 0; w < width; ++w)
+                    pattern << skewed_amino();
+                pattern << ']';
+            } else {
+                // x(i,j) gap (rare: gaps put their successors in the
+                // range of every residue).
+                const int lo = static_cast<int>(rng.nextInRange(1, 2));
+                const int hi = lo + static_cast<int>(rng.nextBelow(3));
+                pattern << any_amino << '{' << lo << ',' << hi << '}';
+            }
+        }
+        rules.push_back(
+            RegexRule{pattern.str(), static_cast<ReportCode>(m), false});
+    }
+    Nfa nfa = compileRuleset(rules, "Protomata");
+    return commonPrefixMerge(nfa);
+}
+
+Nfa
+buildFermi(std::uint32_t layers, std::uint32_t layer_width,
+           std::uint32_t small_tracks, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Nfa nfa("Fermi");
+    // 16-symbol detector alphabet: quantized hit coordinates.
+    const std::string detector = "0123456789:;<=>?";
+
+    // Dense layered mesh: tracks share detector nodes, so the whole
+    // mesh is one connected component that CC merging cannot split.
+    std::vector<std::vector<StateId>> layer_states(layers);
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        for (std::uint32_t w = 0; w < layer_width; ++w) {
+            const CharClass cls = randomClass(
+                rng, detector,
+                static_cast<int>(rng.nextInRange(4, 6)));
+            const bool first = (l == 0);
+            const bool last = (l + 1 == layers);
+            layer_states[l].push_back(nfa.addState(
+                cls, first ? StartType::AllInput : StartType::None,
+                last, static_cast<ReportCode>(w)));
+        }
+    }
+    for (std::uint32_t l = 0; l + 1 < layers; ++l) {
+        for (std::uint32_t w = 0; w < layer_width; ++w) {
+            const StateId q = layer_states[l][w];
+            // Aligned edge first: every next-layer node has an
+            // incoming edge, keeping the mesh a single component
+            // with no orphan detector nodes.
+            nfa.addEdge(q, layer_states[l + 1][w]);
+            if (l == 0) {
+                // Ring links tie all detector columns into one
+                // component regardless of the random cross edges.
+                nfa.addEdge(q, layer_states[1][(w + 1) % layer_width]);
+            } else if (rng.nextBool(0.5)) {
+                nfa.addEdge(q, layer_states[l + 1][rng.nextBelow(
+                                   layer_width)]);
+            }
+        }
+    }
+
+    // Independent short tracks.
+    for (std::uint32_t t = 0; t < small_tracks; ++t) {
+        const int len = static_cast<int>(rng.nextInRange(6, 8));
+        StateId prev = kInvalidState;
+        for (int i = 0; i < len; ++i) {
+            const CharClass cls = randomClass(
+                rng, detector,
+                static_cast<int>(rng.nextInRange(4, 7)));
+            const bool last = (i + 1 == len);
+            const StateId q = nfa.addState(
+                cls, i == 0 ? StartType::AllInput : StartType::None,
+                last, static_cast<ReportCode>(1000 + t));
+            if (i > 0)
+                nfa.addEdge(prev, q);
+            prev = q;
+        }
+    }
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+Nfa
+buildRandomForest(std::uint32_t trees, std::uint32_t depth,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    Nfa nfa("RandomForest");
+    // Quantized feature buckets.
+    const std::string features = "ABCDEFGHIJKLMNOP";
+    for (std::uint32_t t = 0; t < trees; ++t) {
+        StateId prev = kInvalidState;
+        for (std::uint32_t i = 0; i < depth; ++i) {
+            CharClass cls;
+            if (rng.nextBool(0.1)) {
+                cls = randomClass(rng, features, 2);
+            } else {
+                cls = CharClass::single(static_cast<Symbol>(
+                    features[rng.nextBelow(features.size())]));
+            }
+            const bool last = (i + 1 == depth);
+            const StateId q = nfa.addState(
+                cls, i == 0 ? StartType::AllInput : StartType::None,
+                last, static_cast<ReportCode>(t));
+            if (i > 0)
+                nfa.addEdge(prev, q);
+            prev = q;
+        }
+    }
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+Nfa
+buildSpm(std::uint32_t patterns, std::uint32_t items_per_pattern,
+         std::uint64_t seed)
+{
+    Rng rng(seed);
+    Nfa nfa("SPM");
+    // 64 item codes; '\r' is the stream-reset symbol excluded from
+    // gap states so the active set stays bounded.
+    const Symbol item_base = '0';
+    const int item_count = 64;
+    CharClass gap_class = CharClass::all();
+    gap_class.reset('\r');
+
+    for (std::uint32_t p = 0; p < patterns; ++p) {
+        // Three itemsets separated by unbounded gaps, as in mining
+        // sequential relations between transactions. The first
+        // itemset is the longest: real mining rules have selective
+        // antecedents, which keeps spurious partial matches (and so
+        // the true carryover set) small.
+        const std::uint32_t first_set = std::max<std::uint32_t>(
+            items_per_pattern > 3 ? items_per_pattern - 3 : 1, 1);
+        const std::uint32_t mid_set = 1;
+        StateId prev = kInvalidState;
+        std::uint32_t emitted = 0;
+        for (int set = 0; set < 3; ++set) {
+            if (set > 0) {
+                // Gap state: self-looping match-anything-but-reset.
+                const StateId gap = nfa.addState(gap_class);
+                nfa.addEdge(prev, gap);
+                nfa.addEdge(gap, gap);
+                prev = gap;
+            }
+            const std::uint32_t count =
+                set == 0 ? first_set
+                         : (set == 1 ? mid_set
+                                     : items_per_pattern - emitted);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const Symbol sym = static_cast<Symbol>(
+                    item_base + rng.nextBelow(item_count));
+                const bool first = (set == 0 && i == 0);
+                const bool last =
+                    (set == 2 && i + 1 == count);
+                const StateId q = nfa.addState(
+                    CharClass::single(sym),
+                    first ? StartType::AllInput : StartType::None,
+                    last, static_cast<ReportCode>(p));
+                if (!first)
+                    nfa.addEdge(prev, q);
+                prev = q;
+                ++emitted;
+            }
+        }
+    }
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+Nfa
+buildEntityResolution(std::uint32_t groups,
+                      std::uint32_t variants_per_group,
+                      std::uint64_t seed)
+{
+    Rng rng(seed);
+    static const char *syllables[] = {"jo", "han", "nes", "mar",
+                                      "ia",  "el",  "en", "pet",
+                                      "er",  "an",  "na", "son",
+                                      "doe", "li",  "sa", "ker"};
+    std::vector<RegexRule> rules;
+    for (std::uint32_t g = 0; g < groups; ++g) {
+        // One entity: every variant shares the entity's canonical
+        // first syllable, so after prefix merging the whole group is
+        // a single densely connected component.
+        const char *head = syllables[g % std::size(syllables)];
+        std::ostringstream pattern;
+        pattern << '(';
+        for (std::uint32_t v = 0; v < variants_per_group; ++v) {
+            if (v)
+                pattern << '|';
+            pattern << head;
+            const int first_syll =
+                static_cast<int>(rng.nextBelow(2));
+            for (int i = 0; i < first_syll; ++i)
+                pattern << syllables[rng.nextBelow(
+                    std::size(syllables))];
+            pattern << ' ';
+            const int last_syll =
+                1 + static_cast<int>(rng.nextBelow(3));
+            for (int i = 0; i < last_syll; ++i)
+                pattern << syllables[rng.nextBelow(
+                    std::size(syllables))];
+        }
+        pattern << ')';
+        rules.push_back(RegexRule{pattern.str(),
+                                  static_cast<ReportCode>(g), false});
+    }
+    Nfa nfa = compileRuleset(rules, "EntityResolution");
+    return commonPrefixMerge(nfa);
+}
+
+Nfa
+buildClamAv(std::uint32_t signatures, std::uint32_t min_len,
+            std::uint32_t max_len, double wildcard_fraction,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    Nfa nfa("ClamAV");
+    for (std::uint32_t s = 0; s < signatures; ++s) {
+        const std::uint32_t len = static_cast<std::uint32_t>(
+            rng.nextInRange(min_len, max_len));
+        const bool has_star = rng.nextBool(0.15);
+        const std::uint32_t star_at =
+            1 + static_cast<std::uint32_t>(rng.nextBelow(len - 2));
+        StateId prev = kInvalidState;
+        for (std::uint32_t i = 0; i < len; ++i) {
+            CharClass cls;
+            if (has_star && i == star_at) {
+                cls = CharClass::all(); // "*" gap: self-looping below
+            } else if (rng.nextBool(wildcard_fraction)) {
+                cls = CharClass::all(); // "??" single wildcard byte
+            } else if (rng.nextBool(0.25)) {
+                // Byte-range class as in [x-y] signature syntax.
+                const Symbol lo =
+                    static_cast<Symbol>(rng.nextBelow(192));
+                cls = CharClass::range(
+                    lo, static_cast<Symbol>(
+                            lo + 16 + rng.nextBelow(48)));
+            } else {
+                cls = CharClass::single(
+                    static_cast<Symbol>(rng.nextBelow(256)));
+            }
+            const bool last = (i + 1 == len);
+            const StateId q = nfa.addState(
+                cls, i == 0 ? StartType::AllInput : StartType::None,
+                last, static_cast<ReportCode>(s));
+            if (i > 0)
+                nfa.addEdge(prev, q);
+            if (has_star && i == star_at)
+                nfa.addEdge(q, q);
+            prev = q;
+        }
+    }
+    nfa.finalize();
+    nfa.validate();
+    return nfa;
+}
+
+namespace {
+
+/** Random word over an alphabet. */
+std::string
+randomWord(Rng &rng, const std::string &alphabet, std::uint32_t len)
+{
+    std::string out;
+    out.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i)
+        out += alphabet[rng.nextBelow(alphabet.size())];
+    return out;
+}
+
+} // namespace
+
+Nfa
+buildHammingSet(std::uint32_t count, std::uint32_t m, std::uint32_t d,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Nfa> parts;
+    parts.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        parts.push_back(buildHamming(randomWord(rng, dnaAlphabet(), m),
+                                     static_cast<int>(d),
+                                     static_cast<ReportCode>(i),
+                                     "hamming"));
+    return unionAutomata(parts, "Hamming");
+}
+
+Nfa
+buildLevenshteinSet(std::uint32_t count, std::uint32_t m,
+                    std::uint32_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Nfa> parts;
+    parts.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        parts.push_back(
+            buildLevenshtein(randomWord(rng, dnaAlphabet(), m),
+                             static_cast<int>(d),
+                             static_cast<ReportCode>(i),
+                             "levenshtein"));
+    return unionAutomata(parts, "Levenshtein");
+}
+
+} // namespace pap

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Generators for the non-regex ANMLZoo-style benchmarks: Protomata
+ * (PROSITE protein motifs), Fermi (high-energy-physics track
+ * matching), RandomForest (digit-classification feature chains), SPM
+ * (sequential pattern mining with gap states), EntityResolution (name
+ * variant trees), ClamAV (long byte signatures with wildcard gaps),
+ * plus the Hamming and Levenshtein distance machines. Each generator
+ * reproduces the structural profile of Table 1: state count, number
+ * of connected components, and symbol-range behaviour.
+ */
+
+#ifndef PAP_WORKLOADS_DOMAIN_GEN_H
+#define PAP_WORKLOADS_DOMAIN_GEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "nfa/nfa.h"
+
+namespace pap {
+
+/**
+ * Protein motif set in PROSITE spirit: atoms are amino-acid literals,
+ * residue classes like [LIVM], or x(i,j) gaps (any-amino bounded
+ * repeats). First atoms come from a pool of @p head_pool distinct
+ * atoms so prefix merging yields about that many components.
+ */
+Nfa buildProtomata(std::uint32_t motifs, std::uint32_t head_pool,
+                   std::uint64_t seed);
+
+/**
+ * Track-matching automaton: one dense layered mesh (tracks share
+ * detector nodes, so component merging cannot separate them) plus
+ * @p smallTracks independent short chains. Labels are wide classes
+ * over a 16-symbol detector alphabet, giving very large symbol
+ * ranges.
+ */
+Nfa buildFermi(std::uint32_t layers, std::uint32_t layer_width,
+               std::uint32_t small_tracks, std::uint64_t seed);
+
+/**
+ * Random-forest classifier chains: @p trees feature-threshold chains
+ * of @p depth states over a quantized feature alphabet.
+ */
+Nfa buildRandomForest(std::uint32_t trees, std::uint32_t depth,
+                      std::uint64_t seed);
+
+/**
+ * Sequential pattern mining: @p patterns item sequences of
+ * @p items_per_pattern items separated by unbounded ".*" gap states
+ * (the gaps dominate the symbol ranges, as in ANMLZoo SPM).
+ */
+Nfa buildSpm(std::uint32_t patterns, std::uint32_t items_per_pattern,
+             std::uint64_t seed);
+
+/**
+ * Entity resolution: @p groups alternation trees, each encoding many
+ * spelling/abbreviation variants of one entity; a handful of dense
+ * components with large per-component ranges.
+ */
+Nfa buildEntityResolution(std::uint32_t groups,
+                          std::uint32_t variants_per_group,
+                          std::uint64_t seed);
+
+/**
+ * ClamAV-like virus signatures: @p signatures long byte-literal
+ * strings with a fraction of match-any wildcard bytes (the wildcards
+ * give every symbol a large range).
+ */
+Nfa buildClamAv(std::uint32_t signatures, std::uint32_t min_len,
+                std::uint32_t max_len, double wildcard_fraction,
+                std::uint64_t seed);
+
+/** @p count Hamming machines of word length @p m, distance @p d. */
+Nfa buildHammingSet(std::uint32_t count, std::uint32_t m, std::uint32_t d,
+                    std::uint64_t seed);
+
+/** @p count Levenshtein machines of word length @p m, distance @p d. */
+Nfa buildLevenshteinSet(std::uint32_t count, std::uint32_t m,
+                        std::uint32_t d, std::uint64_t seed);
+
+/** The 20 amino-acid letters used by Protomata and the DNA letters. */
+const std::string &aminoAlphabet();
+const std::string &dnaAlphabet();
+
+} // namespace pap
+
+#endif // PAP_WORKLOADS_DOMAIN_GEN_H

@@ -1,0 +1,146 @@
+#include "workloads/ruleset_gen.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nfa/prefix_merge.h"
+
+namespace pap {
+
+namespace {
+
+/** Escape a character so it is a literal in our regex syntax. */
+std::string
+escapeLiteral(char c)
+{
+    switch (c) {
+      case '\n': return "\\n";
+      case '\r': return "\\r";
+      case '\t': return "\\t";
+      case '.': case '*': case '+': case '?': case '(': case ')':
+      case '[': case ']': case '{': case '}': case '|': case '\\':
+      case '-': case '^':
+        return std::string("\\") + c;
+      default: {
+        if (std::isprint(static_cast<unsigned char>(c)))
+            return std::string(1, c);
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\x%02x",
+                      static_cast<unsigned char>(c));
+        return buf;
+      }
+    }
+}
+
+/** One random class atom: an explicit member set over the alphabet. */
+std::string
+makeClassAtom(Rng &rng, const std::string &alphabet)
+{
+    const std::size_t n = alphabet.size();
+    const std::size_t start = rng.nextBelow(n);
+    const std::size_t width =
+        2 + rng.nextBelow(std::min<std::size_t>(6, n - 1));
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < width; ++i)
+        os << escapeLiteral(alphabet[(start + i) % n]);
+    os << ']';
+    return os.str();
+}
+
+/** One atom according to the mix probabilities. */
+std::string
+makeAtom(Rng &rng, const RulesetParams &p)
+{
+    const double roll = rng.nextDouble();
+    if (roll < p.anyFraction)
+        return ".";
+    if (roll < p.anyFraction + p.classFraction)
+        return makeClassAtom(rng, p.alphabet);
+    return escapeLiteral(p.alphabet[rng.nextBelow(p.alphabet.size())]);
+}
+
+} // namespace
+
+std::vector<RegexRule>
+generateRuleset(const RulesetParams &p)
+{
+    PAP_ASSERT(!p.alphabet.empty(), "ruleset needs an alphabet");
+    PAP_ASSERT(p.minAtoms >= 1 && p.maxAtoms >= p.minAtoms,
+               "bad atom bounds");
+    Rng rng(p.seed);
+
+    // Pool of first atoms so prefix merging yields the target number
+    // of connected components: distinct literals first, then classes.
+    std::vector<std::string> first_pool;
+    if (p.firstAtomPool) {
+        for (std::uint32_t i = 0;
+             i < p.firstAtomPool && i < p.alphabet.size(); ++i)
+            first_pool.push_back(escapeLiteral(p.alphabet[i]));
+        while (first_pool.size() < p.firstAtomPool)
+            first_pool.push_back(makeClassAtom(rng, p.alphabet));
+    }
+
+    std::vector<RegexRule> rules;
+    rules.reserve(p.count);
+    for (std::uint32_t r = 0; r < p.count; ++r) {
+        const int atoms = static_cast<int>(
+            rng.nextInRange(p.minAtoms, p.maxAtoms));
+        const bool has_dotstar = rng.nextBool(p.dotstarFraction);
+        const bool has_sep = rng.nextBool(p.separatorFraction);
+        const bool has_alt = rng.nextBool(p.altFraction);
+        // Positions for the special atoms (never first, never last).
+        // The ".*" goes in the first half so false paths seeded at the
+        // star still need a long suffix to produce a report.
+        const int dotstar_at =
+            atoms > 2 ? 1 + static_cast<int>(rng.nextBelow(
+                                std::max(1, atoms / 2)))
+                      : -1;
+        int sep_at = atoms > 2
+                         ? 1 + static_cast<int>(rng.nextBelow(atoms - 2))
+                         : -1;
+        if (sep_at == dotstar_at)
+            sep_at = -1;
+
+        std::ostringstream pattern;
+        for (int a = 0; a < atoms; ++a) {
+            if (a == 0 && !first_pool.empty()) {
+                pattern << first_pool[rng.nextBelow(first_pool.size())];
+                continue;
+            }
+            if (has_dotstar && a == dotstar_at) {
+                pattern << ".*";
+                continue;
+            }
+            if (has_sep && a == sep_at) {
+                pattern << escapeLiteral(p.separator);
+                continue;
+            }
+            std::string atom = makeAtom(rng, p);
+            if (has_alt && a == atoms - 1) {
+                atom = "(" + atom + "|" + makeAtom(rng, p) + ")";
+            } else if (rng.nextBool(p.boundedRepFraction)) {
+                atom += "{1," +
+                        std::to_string(2 + rng.nextBelow(2)) + "}";
+            }
+            pattern << atom;
+        }
+        rules.push_back(RegexRule{pattern.str(),
+                                  static_cast<ReportCode>(r), false});
+    }
+    return rules;
+}
+
+Nfa
+buildRulesetAutomaton(const RulesetParams &params,
+                      const std::string &name, bool prefix_merge)
+{
+    const std::vector<RegexRule> rules = generateRuleset(params);
+    Nfa nfa = compileRuleset(rules, name);
+    if (prefix_merge)
+        nfa = commonPrefixMerge(nfa);
+    return nfa;
+}
+
+} // namespace pap

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic regex ruleset generation. The Regex-suite benchmarks of
+ * the paper (Dotstar, Ranges, ExactMatch, Bro217, TCP, PowerEN) and
+ * the regex-derived ANMLZoo benchmarks (Snort, ClamAV) are rebuilt
+ * from their published structural parameters: rule count, atoms per
+ * rule, the fraction of rules with unbounded ".*" repetitions, the
+ * fraction of character-class atoms, and the alphabet. Deterministic
+ * given the seed.
+ */
+
+#ifndef PAP_WORKLOADS_RULESET_GEN_H
+#define PAP_WORKLOADS_RULESET_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfa/glushkov.h"
+
+namespace pap {
+
+/** Structural knobs of a synthetic ruleset. */
+struct RulesetParams
+{
+    /** Number of rules. */
+    std::uint32_t count = 100;
+    /** Atoms (literals/classes) per rule, uniform in [minAtoms, maxAtoms]. */
+    int minAtoms = 6;
+    int maxAtoms = 12;
+    /** Characters literals are drawn from. */
+    std::string alphabet =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123";
+    /** Fraction of rules containing one unbounded ".*". */
+    double dotstarFraction = 0.0;
+    /** Fraction of atoms that are character classes like [c-f]. */
+    double classFraction = 0.0;
+    /** Fraction of atoms that are "." (match-any, non-repeated). */
+    double anyFraction = 0.0;
+    /** Fraction of atoms carrying a small bounded repetition {1,3}. */
+    double boundedRepFraction = 0.0;
+    /** Fraction of rules embedding a two-way alternation group. */
+    double altFraction = 0.0;
+    /**
+     * Fraction of rules containing the separator character as a
+     * literal (controls the boundary symbol's range).
+     */
+    double separatorFraction = 0.0;
+    char separator = '\n';
+    /**
+     * Pool size for the first atom of each rule; after common-prefix
+     * merging the automaton has about this many connected components.
+     * 0 = no constraint (first atom is random like the rest).
+     */
+    std::uint32_t firstAtomPool = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a deterministic ruleset from @p params. */
+std::vector<RegexRule> generateRuleset(const RulesetParams &params);
+
+/**
+ * Generate, compile, and (optionally) prefix-merge a ruleset into a
+ * named automaton.
+ */
+Nfa buildRulesetAutomaton(const RulesetParams &params,
+                          const std::string &name, bool prefix_merge);
+
+} // namespace pap
+
+#endif // PAP_WORKLOADS_RULESET_GEN_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic input-trace generation following the model of Becchi's
+ * workload generator (Section 4.1 of the paper): with probability p_m
+ * the next symbol extends the traversal of a currently active state
+ * (driving the automaton deeper, as real malicious/matching traffic
+ * does); otherwise the symbol is drawn from a base alphabet. p_m=0.75
+ * is the paper's representative setting. A separator symbol can be
+ * injected periodically to give the partitioner a frequent small-range
+ * boundary symbol.
+ */
+
+#ifndef PAP_WORKLOADS_TRACE_GEN_H
+#define PAP_WORKLOADS_TRACE_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/trace.h"
+#include "nfa/nfa.h"
+
+namespace pap {
+
+/** Parameters of the p_m trace model. */
+struct TraceGenOptions
+{
+    /** Probability that a symbol extends an active traversal. */
+    double pm = 0.75;
+    /** Symbols used when not extending a traversal (must not be empty). */
+    std::vector<Symbol> baseAlphabet;
+    /** Separator symbol injected every separatorPeriod symbols (0=off). */
+    Symbol separator = 0;
+    std::uint32_t separatorPeriod = 0;
+};
+
+/**
+ * Generate @p len symbols for @p nfa under the p_m model, seeded
+ * deterministically by @p seed.
+ */
+InputTrace generateTrace(const Nfa &nfa, std::uint64_t len,
+                         const TraceGenOptions &options,
+                         std::uint64_t seed);
+
+/** Base alphabet helper: the symbols of a string. */
+std::vector<Symbol> alphabetFromString(const std::string &chars);
+
+/** Base alphabet helper: an inclusive symbol range. */
+std::vector<Symbol> alphabetFromRange(Symbol lo, Symbol hi);
+
+} // namespace pap
+
+#endif // PAP_WORKLOADS_TRACE_GEN_H

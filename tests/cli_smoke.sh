@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the papsim CLI: compile -> analyze ->
+# convert (both formats) -> gentrace -> run (sequential, PAP,
+# speculative). Registered with CTest; $1 is the papsim binary.
+set -euo pipefail
+
+PAPSIM="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+cat > rules.txt <<'RULES'
+# smoke rules
+abra
+cad(ab)+ra
+x[yz]{2,3}q
+RULES
+
+"$PAPSIM" compile rules.txt m.nfa --prefix-merge | grep -q "compiled 3 rules"
+"$PAPSIM" analyze m.nfa | grep -q "components:"
+"$PAPSIM" convert m.nfa m.anml | grep -q "converted"
+grep -q "<anml-network" m.anml
+"$PAPSIM" convert m.anml m2.nfa | grep -q "converted"
+cmp m.nfa m2.nfa
+
+"$PAPSIM" gentrace m.anml t.bin 32768 --pm=0.6 --seed=3 \
+    | grep -q "wrote 32768 symbols"
+
+"$PAPSIM" run m.nfa t.bin --sequential | grep -q "sequential:"
+"$PAPSIM" run m.nfa t.bin --ranks=4 --verbose | grep -q "(verified)"
+"$PAPSIM" run m.anml t.bin --spec=128 | grep -q "speculative:"
+
+"$PAPSIM" bench Bro217 | grep -q "Bro217:"
+test -f Bro217.nfa
+
+# Error paths exit non-zero.
+if "$PAPSIM" run missing.nfa t.bin 2>/dev/null; then exit 1; fi
+if "$PAPSIM" bogus 2>/dev/null; then exit 1; fi
+
+echo "cli smoke ok"

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ANML import/export tests: round trips (including odd labels and
+ * start kinds), hand-written network parsing, the unsupported-element
+ * rejection, and language preservation through a save/load cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "engine/reference_engine.h"
+#include "nfa/anml.h"
+#include "nfa/glushkov.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+Nfa
+roundTrip(const Nfa &nfa)
+{
+    std::stringstream ss;
+    saveAnml(nfa, ss);
+    return loadAnml(ss);
+}
+
+TEST(Anml, RoundTripPreservesStructure)
+{
+    Rng rng(71);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Nfa nfa = randomNfa(rng, 5);
+        const Nfa back = roundTrip(nfa);
+        ASSERT_EQ(back.size(), nfa.size());
+        EXPECT_EQ(back.edgeCount(), nfa.edgeCount());
+        for (StateId q = 0; q < nfa.size(); ++q) {
+            EXPECT_EQ(back[q].label, nfa[q].label) << "state " << q;
+            EXPECT_EQ(back[q].start, nfa[q].start);
+            EXPECT_EQ(back[q].reporting, nfa[q].reporting);
+            EXPECT_EQ(back[q].reportCode, nfa[q].reportCode);
+            EXPECT_EQ(back[q].succ, nfa[q].succ);
+        }
+    }
+}
+
+TEST(Anml, RoundTripPreservesLanguage)
+{
+    Rng rng(72);
+    const Nfa nfa = randomNfa(rng, 6);
+    const Nfa back = roundTrip(nfa);
+    const InputTrace text = randomTextTrace(rng, 400, "abcdefgh ");
+    EXPECT_EQ(referenceRun(nfa, text.symbols()).reports,
+              referenceRun(back, text.symbols()).reports);
+}
+
+TEST(Anml, OddLabelsSurvive)
+{
+    Nfa nfa("odd");
+    nfa.addState(CharClass::all(), StartType::AllInput);
+    nfa.addState(CharClass());
+    nfa.addState(CharClass::single(0));
+    nfa.addState(CharClass::single(255), StartType::StartOfData);
+    CharClass punct = CharClass::fromString("<>&\"'-[]^\\");
+    nfa.addState(punct, StartType::None, true, 42);
+    nfa.finalize();
+    const Nfa back = roundTrip(nfa);
+    ASSERT_EQ(back.size(), nfa.size());
+    for (StateId q = 0; q < nfa.size(); ++q)
+        EXPECT_EQ(back[q].label, nfa[q].label) << "state " << q;
+    EXPECT_EQ(back[4].reportCode, 42u);
+}
+
+TEST(Anml, ParsesHandWrittenNetwork)
+{
+    const char *text = R"(<?xml version="1.0"?>
+<!-- two-state matcher -->
+<anml-network id="hand">
+  <state-transition-element id="start" symbol-set="[a-c]"
+                            start="all-input">
+    <activate-on-match element="acc"/>
+  </state-transition-element>
+  <state-transition-element id="acc" symbol-set="[xy]">
+    <report-on-match reportcode="9"/>
+  </state-transition-element>
+</anml-network>)";
+    std::stringstream ss(text);
+    const Nfa nfa = loadAnml(ss);
+    EXPECT_EQ(nfa.name(), "hand");
+    ASSERT_EQ(nfa.size(), 2u);
+    EXPECT_EQ(nfa[0].start, StartType::AllInput);
+    EXPECT_EQ(nfa[0].succ, (std::vector<StateId>{1}));
+    EXPECT_TRUE(nfa[1].reporting);
+    EXPECT_EQ(nfa[1].reportCode, 9u);
+
+    const InputTrace in = InputTrace::fromString("bx");
+    const auto reports = referenceRun(nfa, in.symbols()).reports;
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 1u);
+}
+
+TEST(Anml, RejectsUnsupportedAndMalformed)
+{
+    auto load = [](const std::string &text) {
+        std::stringstream ss(text);
+        return loadAnml(ss);
+    };
+    EXPECT_THROW(load("<bogus/>"), std::runtime_error);
+    EXPECT_THROW(load("<anml-network id=\"x\"><counter id=\"c\"/>"
+                      "</anml-network>"),
+                 std::runtime_error);
+    EXPECT_THROW(load("<anml-network id=\"x\">"
+                      "<state-transition-element id=\"a\"/>"
+                      "</anml-network>"),
+                 std::runtime_error); // missing symbol-set
+    EXPECT_THROW(
+        load("<anml-network id=\"x\">"
+             "<state-transition-element id=\"a\" symbol-set=\"[a]\">"
+             "<activate-on-match element=\"nope\"/>"
+             "</state-transition-element></anml-network>"),
+        std::runtime_error); // dangling edge
+    EXPECT_THROW(
+        load("<anml-network id=\"x\">"
+             "<state-transition-element id=\"a\" symbol-set=\"[a]\"/>"
+             "<state-transition-element id=\"a\" symbol-set=\"[b]\"/>"
+             "</anml-network>"),
+        std::runtime_error); // duplicate id
+}
+
+TEST(Anml, CompiledRulesetSurvivesExport)
+{
+    const Nfa nfa = compileRuleset(
+        {{"ab(c|d)+", 1}, {"x{2,3}y", 2, true}}, "rules");
+    const Nfa back = roundTrip(nfa);
+    Rng rng(73);
+    const InputTrace text = randomTextTrace(rng, 500, "abcdxy");
+    EXPECT_EQ(referenceRun(nfa, text.symbols()).reports,
+              referenceRun(back, text.symbols()).reports);
+}
+
+} // namespace
+} // namespace pap

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * AP hardware model tests: board geometry, placement (bin packing,
+ * routing hints, capacity checks), the State Vector Cache, and the
+ * output report buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ap/ap_config.h"
+#include "ap/placement.h"
+#include "ap/report_buffer.h"
+#include "ap/state_vector_cache.h"
+#include "nfa/glushkov.h"
+#include "workloads/domain_gen.h"
+
+namespace pap {
+namespace {
+
+TEST(ApConfig, D480Geometry)
+{
+    const ApConfig one = ApConfig::d480(1);
+    EXPECT_EQ(one.totalHalfCores(), 16u);
+    EXPECT_EQ(one.totalStes(), 16ull * 24576);
+    const ApConfig four = ApConfig::d480(4);
+    EXPECT_EQ(four.totalHalfCores(), 64u);
+    EXPECT_EQ(four.svcEntriesPerDevice, 512u);
+    EXPECT_DOUBLE_EQ(four.timing.symbolCycleNs, 7.5);
+    EXPECT_EQ(four.timing.contextSwitchCycles, 3u);
+    EXPECT_EQ(four.timing.stateVectorUploadCycles, 1668u);
+    EXPECT_EQ(four.timing.fivDownloadCycles, 15u);
+}
+
+TEST(Placement, SmallMachineUsesOneHalfCore)
+{
+    const Nfa nfa = compileRuleset({{"abc", 1}, {"def", 2}}, "m");
+    const Components comps = connectedComponents(nfa);
+    const Placement p = placeAutomaton(nfa, comps, ApConfig::d480(1));
+    EXPECT_EQ(p.halfCoresPerCopy, 1u);
+    EXPECT_EQ(p.inputSegments(ApConfig::d480(1)), 16u);
+    EXPECT_EQ(p.inputSegments(ApConfig::d480(4)), 64u);
+    EXPECT_EQ(p.stesPerHalfCore[0], nfa.size());
+}
+
+TEST(Placement, RoutingHintForcesExtraHalfCores)
+{
+    const Nfa nfa = compileRuleset({{"abc", 1}}, "m");
+    const Components comps = connectedComponents(nfa);
+    const Placement p =
+        placeAutomaton(nfa, comps, ApConfig::d480(1), 3);
+    EXPECT_EQ(p.halfCoresPerCopy, 3u);
+    EXPECT_EQ(p.inputSegments(ApConfig::d480(1)), 5u);
+    EXPECT_EQ(p.inputSegments(ApConfig::d480(4)), 21u);
+}
+
+TEST(Placement, BinPacksComponents)
+{
+    // 45k single-component states of ~9 each need two half-cores.
+    const Nfa nfa = buildSpm(5025, 7, 1);
+    const Components comps = connectedComponents(nfa);
+    const Placement p = placeAutomaton(nfa, comps, ApConfig::d480(4));
+    EXPECT_EQ(p.halfCoresPerCopy, 2u);
+    std::uint64_t total = 0;
+    for (const auto used : p.stesPerHalfCore) {
+        EXPECT_LE(used, ApConfig::d480(4).stesPerHalfCore);
+        total += used;
+    }
+    EXPECT_EQ(total, nfa.size());
+    // Components map into existing half-cores.
+    for (const auto hc : p.halfCoreOfComponent)
+        EXPECT_LT(hc, p.halfCoresPerCopy);
+}
+
+TEST(StateVectorCache, SaveLoadInvalidate)
+{
+    StateVectorCache svc(4);
+    svc.save(0, {1, 2, 3});
+    svc.save(1, {1, 2, 3});
+    svc.save(2, {});
+    EXPECT_TRUE(svc.resident(0));
+    EXPECT_EQ(svc.occupancy(), 3u);
+    EXPECT_EQ(svc.load(0), (std::vector<StateId>{1, 2, 3}));
+    EXPECT_TRUE(svc.equal(0, 1));
+    EXPECT_FALSE(svc.equal(0, 2));
+    EXPECT_TRUE(svc.isZero(2));
+    EXPECT_FALSE(svc.isZero(0));
+    svc.invalidate(1);
+    EXPECT_FALSE(svc.resident(1));
+    EXPECT_EQ(svc.occupancy(), 2u);
+    EXPECT_EQ(svc.counters().get("svc.saves"), 3u);
+    EXPECT_EQ(svc.counters().get("svc.loads"), 1u);
+    EXPECT_EQ(svc.counters().get("svc.compares"), 2u);
+    EXPECT_EQ(svc.counters().get("svc.invalidates"), 1u);
+}
+
+TEST(StateVectorCache, OverwriteDoesNotGrow)
+{
+    StateVectorCache svc(1);
+    svc.save(7, {1});
+    svc.save(7, {2});
+    EXPECT_EQ(svc.occupancy(), 1u);
+    EXPECT_EQ(svc.load(7), (std::vector<StateId>{2}));
+}
+
+TEST(ReportBuffer, TracksFlowAttribution)
+{
+    ReportBuffer buffer;
+    buffer.push(3, ReportEvent{10, 1, 100});
+    buffer.push(5, {ReportEvent{11, 2, 101}, ReportEvent{12, 3, 102}});
+    EXPECT_EQ(buffer.totalEvents(), 3u);
+    EXPECT_EQ(buffer.eventsFromFlow(3), 1u);
+    EXPECT_EQ(buffer.eventsFromFlow(5), 2u);
+    EXPECT_EQ(buffer.eventsFromFlow(9), 0u);
+    EXPECT_EQ(buffer.entries()[1].event.code, 101u);
+}
+
+} // namespace
+} // namespace pap

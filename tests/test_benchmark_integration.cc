@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Benchmark-level integration tests (TEST_P over the full Table-1
+ * registry): every synthetic benchmark runs the complete PAP pipeline
+ * on a short trace and must verify against its sequential execution,
+ * never regress below 1x, and respect its ideal bound. This covers
+ * the real automata shapes (dense meshes, star gaps, distance grids,
+ * byte signatures) that the random-NFA fuzzing cannot reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ap/ap_config.h"
+#include "pap/runner.h"
+#include "pap/speculative.h"
+#include "workloads/benchmarks.h"
+
+namespace pap {
+namespace {
+
+class BenchmarkPipeline
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(BenchmarkPipeline, PapVerifiesOnShortTrace)
+{
+    const BenchmarkInfo &info = benchmarkInfo(GetParam());
+    const Nfa nfa = buildBenchmark(info.name);
+    const InputTrace input =
+        buildBenchmarkTrace(nfa, info.name, 8192, /*seed=*/77);
+
+    PapOptions opt;
+    opt.routingMinHalfCores = info.paper.halfCores;
+    const PapResult r = runPap(nfa, input, ApConfig::d480(1), opt);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GE(r.speedup, 1.0);
+    EXPECT_LE(r.speedup, static_cast<double>(r.idealSpeedup) + 1e-9);
+    EXPECT_GE(r.reportInflation, 1.0 - 1e-9);
+}
+
+TEST_P(BenchmarkPipeline, SpeculationVerifiesOnShortTrace)
+{
+    const BenchmarkInfo &info = benchmarkInfo(GetParam());
+    const Nfa nfa = buildBenchmark(info.name);
+    const InputTrace input =
+        buildBenchmarkTrace(nfa, info.name, 8192, /*seed=*/78);
+
+    SpeculationOptions opt;
+    opt.warmupWindow = 128;
+    opt.routingMinHalfCores = info.paper.halfCores;
+    const SpeculationResult r =
+        runSpeculative(nfa, input, ApConfig::d480(1), opt);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GE(r.speedup, 1.0);
+}
+
+std::vector<const char *>
+allBenchmarkNames()
+{
+    std::vector<const char *> names;
+    for (const auto &info : benchmarkRegistry())
+        names.push_back(info.name.c_str());
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BenchmarkPipeline, ::testing::ValuesIn(allBenchmarkNames()),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+} // namespace
+} // namespace pap

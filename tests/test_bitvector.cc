@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit and property tests for BitVector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.h"
+#include "common/rng.h"
+
+namespace pap {
+namespace {
+
+TEST(BitVector, StartsEmpty)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.any());
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, SetResetTest)
+{
+    BitVector v(200);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(199);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(199));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 4u);
+    v.reset(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsTailBits)
+{
+    BitVector v(70);
+    v.setAll();
+    EXPECT_EQ(v.count(), 70u);
+    // Hash must be identical to setting each bit individually.
+    BitVector w(70);
+    for (std::size_t i = 0; i < 70; ++i)
+        w.set(i);
+    EXPECT_EQ(v, w);
+    EXPECT_EQ(v.hash(), w.hash());
+}
+
+TEST(BitVector, ClearAll)
+{
+    BitVector v(100);
+    v.setAll();
+    v.clearAll();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, UnionIntersectionDifference)
+{
+    BitVector a(128), b(128);
+    a.set(1);
+    a.set(60);
+    b.set(60);
+    b.set(90);
+
+    BitVector u = a | b;
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_TRUE(u.test(1) && u.test(60) && u.test(90));
+
+    BitVector i = a & b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(60));
+
+    BitVector d = a;
+    d.andNot(b);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(1));
+}
+
+TEST(BitVector, SubsetAndIntersects)
+{
+    BitVector a(80), b(80);
+    a.set(5);
+    b.set(5);
+    b.set(9);
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+    EXPECT_TRUE(a.intersects(b));
+    a.reset(5);
+    EXPECT_TRUE(a.isSubsetOf(b)); // empty set is subset of anything
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(BitVector, ForEachSetAscending)
+{
+    BitVector v(300);
+    const std::vector<std::uint32_t> expect = {0, 64, 65, 128, 299};
+    for (const auto i : expect)
+        v.set(i);
+    EXPECT_EQ(v.toIndices(), expect);
+}
+
+TEST(BitVector, HashDistinguishesContents)
+{
+    BitVector a(256), b(256);
+    a.set(3);
+    b.set(4);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVector, RandomizedAgainstReferenceSets)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.nextBelow(500);
+        BitVector a(n), b(n);
+        std::vector<bool> ra(n, false), rb(n, false);
+        for (int k = 0; k < 64; ++k) {
+            const std::size_t i = rng.nextBelow(n);
+            const std::size_t j = rng.nextBelow(n);
+            a.set(i);
+            ra[i] = true;
+            b.set(j);
+            rb[j] = true;
+        }
+        BitVector u = a | b;
+        std::size_t expect_count = 0;
+        bool expect_subset = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ra[i] || rb[i])
+                ++expect_count;
+            EXPECT_EQ(u.test(i), ra[i] || rb[i]);
+            if (ra[i] && !rb[i])
+                expect_subset = false;
+        }
+        EXPECT_EQ(u.count(), expect_count);
+        EXPECT_EQ(a.isSubsetOf(b), expect_subset);
+    }
+}
+
+} // namespace
+} // namespace pap

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Domain automata builders: exact-match chains, Hamming machines
+ * (verified against a sliding-window mismatch count), and Levenshtein
+ * machines (verified against a dynamic-programming edit-distance
+ * oracle over all substrings).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "engine/reference_engine.h"
+#include "nfa/builders.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+std::set<std::uint64_t>
+reportOffsets(const Nfa &nfa, const std::string &text)
+{
+    const InputTrace t = InputTrace::fromString(text);
+    const ReferenceResult res = referenceRun(nfa, t.symbols());
+    std::set<std::uint64_t> out;
+    for (const auto &e : res.reports)
+        out.insert(e.offset);
+    return out;
+}
+
+TEST(Builders, ExactMatchChain)
+{
+    const Nfa nfa = buildExactMatchSet({"abc", "bcd"}, "em");
+    EXPECT_EQ(nfa.size(), 6u);
+    const auto offs = reportOffsets(nfa, "zabcdz");
+    EXPECT_EQ(offs, (std::set<std::uint64_t>{3, 4}));
+}
+
+TEST(Builders, ExactMatchOverlappingOccurrences)
+{
+    const Nfa nfa = buildExactMatchSet({"aa"}, "em");
+    const auto offs = reportOffsets(nfa, "aaaa");
+    EXPECT_EQ(offs, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+/** Number of mismatches between pattern and the window ending at i. */
+int
+hammingMismatches(const std::string &text, std::size_t end,
+                  const std::string &pattern)
+{
+    if (end + 1 < pattern.size())
+        return 1 << 20;
+    int mismatches = 0;
+    const std::size_t start = end + 1 - pattern.size();
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        if (text[start + i] != pattern[i])
+            ++mismatches;
+    return mismatches;
+}
+
+TEST(Builders, HammingAgainstOracle)
+{
+    Rng rng(8);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::string pattern;
+        const int m = 5 + static_cast<int>(rng.nextBelow(5));
+        for (int i = 0; i < m; ++i)
+            pattern += "ACGT"[rng.nextBelow(4)];
+        const int d = static_cast<int>(rng.nextBelow(3));
+        const Nfa nfa = buildHamming(pattern, d, 1, "h");
+
+        std::string text;
+        for (int i = 0; i < 300; ++i)
+            text += "ACGT"[rng.nextBelow(4)];
+        const auto offs = reportOffsets(nfa, text);
+        for (std::size_t end = 0; end < text.size(); ++end) {
+            const bool expect =
+                hammingMismatches(text, end, pattern) <= d;
+            EXPECT_EQ(offs.contains(end), expect)
+                << "pattern=" << pattern << " d=" << d
+                << " end=" << end;
+        }
+    }
+}
+
+/** Min edit distance between pattern and any substring ending at i. */
+int
+minEditDistanceEndingAt(const std::string &text, std::size_t end,
+                        const std::string &pattern)
+{
+    // DP over the reversed problem: distance from pattern to
+    // substrings text[start..end], minimized over start; computed by
+    // the standard "search" variant where row 0 is all zeros over the
+    // text, restricted to substrings ending exactly at `end`.
+    const int m = static_cast<int>(pattern.size());
+    int best = 1 << 20;
+    const int max_len =
+        std::min<int>(static_cast<int>(end) + 1,
+                      m + 8); // distance > 8 never relevant here
+    for (int len = 1; len <= max_len; ++len) {
+        const int start = static_cast<int>(end) + 1 - len;
+        std::vector<int> prev(m + 1), cur(m + 1);
+        for (int j = 0; j <= m; ++j)
+            prev[j] = j;
+        for (int i = 1; i <= len; ++i) {
+            cur[0] = i;
+            for (int j = 1; j <= m; ++j) {
+                const int cost =
+                    text[start + i - 1] == pattern[j - 1] ? 0 : 1;
+                cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                                   prev[j - 1] + cost});
+            }
+            std::swap(prev, cur);
+        }
+        best = std::min(best, prev[m]);
+    }
+    return best;
+}
+
+TEST(Builders, LevenshteinAgainstOracle)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 6; ++trial) {
+        std::string pattern;
+        const int m = 4 + static_cast<int>(rng.nextBelow(4));
+        for (int i = 0; i < m; ++i)
+            pattern += "ACGT"[rng.nextBelow(4)];
+        const int d = 1 + static_cast<int>(rng.nextBelow(2));
+        const Nfa nfa = buildLevenshtein(pattern, d, 1, "lev");
+
+        std::string text;
+        for (int i = 0; i < 160; ++i)
+            text += "ACGT"[rng.nextBelow(4)];
+        const auto offs = reportOffsets(nfa, text);
+        for (std::size_t end = 0; end < text.size(); ++end) {
+            const bool expect =
+                minEditDistanceEndingAt(text, end, pattern) <= d;
+            EXPECT_EQ(offs.contains(end), expect)
+                << "pattern=" << pattern << " d=" << d
+                << " end=" << end;
+        }
+    }
+}
+
+TEST(Builders, LevenshteinDistanceZeroIsExactMatch)
+{
+    const Nfa lev = buildLevenshtein("ACGT", 0, 1, "lev0");
+    const Nfa exact = buildExactMatchSet({"ACGT"}, "em");
+    Rng rng(10);
+    std::string text;
+    for (int i = 0; i < 400; ++i)
+        text += "ACGT"[rng.nextBelow(4)];
+    EXPECT_EQ(reportOffsets(lev, text), reportOffsets(exact, text));
+}
+
+TEST(Builders, UnionKeepsComponentsApart)
+{
+    std::vector<Nfa> parts;
+    parts.push_back(buildHamming("ACGT", 1, 1, "a"));
+    parts.push_back(buildHamming("TTTT", 1, 2, "b"));
+    const Nfa u = unionAutomata(parts, "u");
+    EXPECT_EQ(u.size(), parts[0].size() + parts[1].size());
+}
+
+} // namespace
+} // namespace pap

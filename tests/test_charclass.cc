@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for CharClass, the 256-bit STE label.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/charclass.h"
+
+namespace pap {
+namespace {
+
+TEST(CharClass, EmptyAndFull)
+{
+    CharClass empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.count(), 0);
+    EXPECT_EQ(empty.lowest(), -1);
+    EXPECT_EQ(empty.toString(), "[]");
+
+    const CharClass full = CharClass::all();
+    EXPECT_TRUE(full.full());
+    EXPECT_EQ(full.count(), 256);
+    EXPECT_EQ(full.toString(), "*");
+}
+
+TEST(CharClass, Single)
+{
+    const CharClass c = CharClass::single('a');
+    EXPECT_EQ(c.count(), 1);
+    EXPECT_TRUE(c.test('a'));
+    EXPECT_FALSE(c.test('b'));
+    EXPECT_EQ(c.toString(), "a");
+    EXPECT_EQ(c.lowest(), 'a');
+}
+
+TEST(CharClass, Range)
+{
+    const CharClass c = CharClass::range('a', 'f');
+    EXPECT_EQ(c.count(), 6);
+    for (char ch = 'a'; ch <= 'f'; ++ch)
+        EXPECT_TRUE(c.test(static_cast<Symbol>(ch)));
+    EXPECT_FALSE(c.test('g'));
+    EXPECT_EQ(c.toString(), "[a-f]");
+}
+
+TEST(CharClass, FullByteRangeBoundaries)
+{
+    const CharClass c = CharClass::range(0, 255);
+    EXPECT_TRUE(c.full());
+    const CharClass hi = CharClass::range(250, 255);
+    EXPECT_EQ(hi.count(), 6);
+    EXPECT_TRUE(hi.test(255));
+    EXPECT_FALSE(hi.test(249));
+}
+
+TEST(CharClass, Complement)
+{
+    const CharClass c = CharClass::single('x').complement();
+    EXPECT_EQ(c.count(), 255);
+    EXPECT_FALSE(c.test('x'));
+    EXPECT_TRUE(c.test('y'));
+}
+
+TEST(CharClass, SetOperations)
+{
+    CharClass a = CharClass::range('a', 'd');
+    const CharClass b = CharClass::range('c', 'f');
+    EXPECT_TRUE(a.intersects(b));
+    a &= b;
+    EXPECT_EQ(a.count(), 2); // c, d
+    const CharClass u = CharClass::single('p') | CharClass::single('q');
+    EXPECT_EQ(u.count(), 2);
+    EXPECT_FALSE(u.intersects(CharClass::single('r')));
+}
+
+TEST(CharClass, FromString)
+{
+    const CharClass c = CharClass::fromString("abba");
+    EXPECT_EQ(c.count(), 2);
+    EXPECT_TRUE(c.test('a') && c.test('b'));
+}
+
+TEST(CharClass, NthSetAndToSymbols)
+{
+    const CharClass c = CharClass::fromString("zax");
+    EXPECT_EQ(c.nthSet(0), 'a');
+    EXPECT_EQ(c.nthSet(1), 'x');
+    EXPECT_EQ(c.nthSet(2), 'z');
+    const std::vector<Symbol> symbols = c.toSymbols();
+    ASSERT_EQ(symbols.size(), 3u);
+    EXPECT_EQ(symbols[0], 'a');
+    EXPECT_EQ(symbols[2], 'z');
+}
+
+TEST(CharClass, ToStringEscapesAndRuns)
+{
+    CharClass c = CharClass::range('0', '3');
+    c.set('\n');
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("\\x0a"), std::string::npos);
+    EXPECT_NE(s.find("0-3"), std::string::npos);
+}
+
+TEST(CharClass, TwoSymbolRunHasNoDash)
+{
+    const CharClass c = CharClass::fromString("ab");
+    EXPECT_EQ(c.toString(), "[ab]");
+}
+
+} // namespace
+} // namespace pap

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Classical NFA tests: epsilon closures, subset simulation, the
+ * Thompson construction, and the homogeneous conversion (whose output
+ * must report exactly where the classical simulation accepts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/reference_engine.h"
+#include "nfa/classical.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+TEST(Classical, EpsilonClosure)
+{
+    ClassicalNfa nfa;
+    const auto a = nfa.addState();
+    const auto b = nfa.addState();
+    const auto c = nfa.addState();
+    const auto d = nfa.addState();
+    nfa.addEpsilon(a, b);
+    nfa.addEpsilon(b, c);
+    nfa.addEpsilon(c, a); // cycle
+    const auto closure = nfa.epsilonClosure({a});
+    EXPECT_EQ(closure, (std::vector<std::uint32_t>{a, b, c}));
+    const auto solo = nfa.epsilonClosure({d});
+    EXPECT_EQ(solo, (std::vector<std::uint32_t>{d}));
+}
+
+TEST(Classical, SimulateSimpleChain)
+{
+    ClassicalNfa nfa;
+    const auto s0 = nfa.addState();
+    const auto s1 = nfa.addState();
+    const auto s2 = nfa.addState();
+    nfa.setStart(s0);
+    nfa.addEdge(s0, s1, CharClass::single('a'));
+    nfa.addEdge(s1, s2, CharClass::single('b'));
+    nfa.setAccept(s2, 9);
+
+    const InputTrace t = InputTrace::fromString("abab");
+    const auto rep = nfa.simulate(t.symbols(), /*anywhere=*/true);
+    ASSERT_EQ(rep.size(), 4u);
+    EXPECT_TRUE(rep[0].empty());
+    EXPECT_EQ(rep[1], (std::vector<ReportCode>{9}));
+    EXPECT_TRUE(rep[2].empty());
+    EXPECT_EQ(rep[3], (std::vector<ReportCode>{9}));
+}
+
+TEST(Classical, AnchoredVsAnywhere)
+{
+    RegexPtr ast = expandRepeats(parseRegex("ab"));
+    const ClassicalNfa nfa = thompson(*ast, 1);
+    const InputTrace t = InputTrace::fromString("xabab");
+    const auto anywhere = nfa.simulate(t.symbols(), true);
+    const auto anchored = nfa.simulate(t.symbols(), false);
+    EXPECT_FALSE(anywhere[2].empty());
+    EXPECT_FALSE(anywhere[4].empty());
+    for (const auto &r : anchored)
+        EXPECT_TRUE(r.empty()); // "xabab" does not start with "ab"
+}
+
+TEST(Classical, HomogeneousConversionAgreesWithSimulation)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::string pattern = randomPattern(rng);
+        RegexPtr ast = expandRepeats(parseRegex(pattern));
+        const ClassicalNfa cn = thompson(*ast, 3);
+        const bool anywhere = rng.nextBool(0.5);
+
+        const Nfa hom = cn.toHomogeneous("hom", anywhere);
+        const InputTrace text =
+            randomTextTrace(rng, 120, "abcdefgh ");
+
+        const auto classical = cn.simulate(text.symbols(), anywhere);
+        const ReferenceResult ref = referenceRun(hom, text.symbols());
+
+        std::vector<std::uint64_t> expect, got;
+        for (std::size_t i = 0; i < classical.size(); ++i)
+            if (!classical[i].empty())
+                expect.push_back(i);
+        for (const auto &e : ref.reports)
+            got.push_back(e.offset);
+        std::sort(got.begin(), got.end());
+        got.erase(std::unique(got.begin(), got.end()), got.end());
+        ASSERT_EQ(got, expect) << "pattern=" << pattern;
+    }
+}
+
+TEST(Classical, HomogeneousStatesArePerTargetLabelPairs)
+{
+    // Two edges into the same state with the same label share one
+    // homogeneous state; a different label forces another.
+    ClassicalNfa nfa;
+    const auto s0 = nfa.addState();
+    const auto s1 = nfa.addState();
+    const auto s2 = nfa.addState();
+    nfa.setStart(s0);
+    nfa.addEdge(s0, s2, CharClass::single('a'));
+    nfa.addEdge(s1, s2, CharClass::single('a'));
+    nfa.addEdge(s0, s2, CharClass::single('b'));
+    nfa.setAccept(s2, 1);
+    const Nfa hom = nfa.toHomogeneous("hom", true);
+    EXPECT_EQ(hom.size(), 2u); // (s2,'a') and (s2,'b')
+}
+
+} // namespace
+} // namespace pap

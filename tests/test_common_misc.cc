@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the RNG, numeric helpers, counters, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace pap {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto x = a.next();
+        EXPECT_EQ(x, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, NextBelowInBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo && saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng rng(4);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(5);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Stats, MeanGeomeanMinMax)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(stats::mean(xs), 7.0 / 3.0);
+    EXPECT_NEAR(stats::geomean(xs), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats::minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(stats::maxOf(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stats::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stats::geomean({}), 0.0);
+}
+
+TEST(Stats, Percentile)
+{
+    const std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(stats::percentile(xs, 50), 25.0);
+}
+
+TEST(CounterSet, AddGetMerge)
+{
+    CounterSet a;
+    a.add("x");
+    a.add("x", 4);
+    a.setValue("y", 7);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 7u);
+    EXPECT_EQ(a.get("missing"), 0u);
+
+    CounterSet b;
+    b.add("x", 10);
+    b.add("z");
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 15u);
+    EXPECT_EQ(a.get("z"), 1u);
+    EXPECT_NE(a.toString().find("x = 15"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("Name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace pap

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Subset-construction tests: exact DFA state counts on classic
+ * examples (including the exponential (a|b)*a(a|b)^{n-1} family) and
+ * the cap behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "engine/determinize.h"
+#include "nfa/glushkov.h"
+
+namespace pap {
+namespace {
+
+Nfa
+machine(const std::string &pattern, bool anchored)
+{
+    Nfa nfa;
+    RegexPtr ast = expandRepeats(parseRegex(pattern));
+    compileRegexInto(nfa, *ast, 1, anchored);
+    nfa.finalize();
+    return nfa;
+}
+
+TEST(Determinize, SingleAnchoredWordIsAChainPlusDeadState)
+{
+    // Anchored "abc" over its own alphabet: configs {a}, {b}, {c},
+    // {}, ... exactly chain + dead.
+    const Nfa nfa = machine("abc", /*anchored=*/true);
+    const DeterminizeResult r = subsetConstruction(nfa, 1000);
+    EXPECT_FALSE(r.capped);
+    EXPECT_EQ(r.dfaStates, 4u); // {s0},{s1},{s2},{} (post-accept = {})
+    EXPECT_EQ(r.nfaStates, 3u);
+}
+
+TEST(Determinize, ClassicExponentialFamily)
+{
+    // (a|b)*a(a|b)^{n-1} must remember the last n-1 symbols:
+    // at least 2^(n-1) DFA states.
+    for (const int n : {3, 5, 8}) {
+        std::string pattern = "(a|b)*a";
+        for (int i = 1; i < n; ++i)
+            pattern += "(a|b)";
+        const Nfa nfa = machine(pattern, /*anchored=*/true);
+        const DeterminizeResult r = subsetConstruction(nfa, 1 << 14);
+        EXPECT_FALSE(r.capped) << "n=" << n;
+        EXPECT_GE(r.dfaStates, (1ull << (n - 1))) << "n=" << n;
+        // The NFA itself is linear in n.
+        EXPECT_LE(r.nfaStates, static_cast<std::uint64_t>(2 * n + 2));
+    }
+}
+
+TEST(Determinize, CapStopsExploration)
+{
+    std::string pattern = "(a|b)*a";
+    for (int i = 1; i < 16; ++i)
+        pattern += "(a|b)";
+    const Nfa nfa = machine(pattern, true);
+    const DeterminizeResult r = subsetConstruction(nfa, 500);
+    EXPECT_TRUE(r.capped);
+    EXPECT_EQ(r.dfaStates, 500u);
+}
+
+TEST(Determinize, UnanchoredMatcherStaysSmallOnTinyRuleset)
+{
+    // Unanchored single word: the classic KMP-style automaton, at
+    // most |pattern|+1 live configurations over its alphabet.
+    const Nfa nfa = machine("aab", /*anchored=*/false);
+    const DeterminizeResult r =
+        subsetConstruction(nfa, 1000);
+    EXPECT_FALSE(r.capped);
+    EXPECT_LE(r.dfaStates, 4u);
+}
+
+TEST(Determinize, ExplicitAlphabetRestrictsClosure)
+{
+    const Nfa nfa = machine("ab", false);
+    const DeterminizeResult r =
+        subsetConstruction(nfa, 1000, {Symbol('a')});
+    // Only 'a' transitions: {s0 implicit}, {s1}, and no 'b' step.
+    EXPECT_LE(r.dfaStates, 2u);
+    EXPECT_FALSE(r.capped);
+}
+
+} // namespace
+} // namespace pap

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Glushkov compiler tests. The key property: the homogeneous NFA
+ * produced by the Glushkov construction, executed with the reference
+ * engine, reports at exactly the offsets the independent Thompson
+ * construction (classical NFA with epsilon moves) accepts. Both
+ * constructions are derived from the same AST but share no code paths
+ * beyond the parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/reference_engine.h"
+#include "nfa/classical.h"
+#include "nfa/glushkov.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+/** Offsets at which the Glushkov machine reports code 1. */
+std::vector<std::uint64_t>
+glushkovOffsets(const std::string &pattern,
+                const std::vector<Symbol> &input, bool anchored)
+{
+    Nfa nfa;
+    RegexPtr ast = expandRepeats(parseRegex(pattern));
+    compileRegexInto(nfa, *ast, 1, anchored);
+    nfa.finalize();
+    const ReferenceResult res = referenceRun(nfa, input);
+    std::vector<std::uint64_t> out;
+    for (const auto &e : res.reports)
+        out.push_back(e.offset);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+/** Offsets at which the Thompson oracle accepts. */
+std::vector<std::uint64_t>
+thompsonOffsets(const std::string &pattern,
+                const std::vector<Symbol> &input, bool anchored)
+{
+    RegexPtr ast = expandRepeats(parseRegex(pattern));
+    const ClassicalNfa cn = thompson(*ast, 1);
+    const auto reports = cn.simulate(input, /*anywhere=*/!anchored);
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        if (!reports[i].empty())
+            out.push_back(i);
+    return out;
+}
+
+void
+expectAgreement(const std::string &pattern, const std::string &text,
+                bool anchored = false)
+{
+    const InputTrace trace = InputTrace::fromString(text);
+    EXPECT_EQ(glushkovOffsets(pattern, trace.symbols(), anchored),
+              thompsonOffsets(pattern, trace.symbols(), anchored))
+        << "pattern=" << pattern << " text=" << text
+        << " anchored=" << anchored;
+}
+
+TEST(Glushkov, BasicLiteralMatch)
+{
+    const InputTrace t = InputTrace::fromString("xxabcxxabc");
+    const auto offs = glushkovOffsets("abc", t.symbols(), false);
+    EXPECT_EQ(offs, (std::vector<std::uint64_t>{4, 9}));
+}
+
+TEST(Glushkov, AnchoredMatchesOnlyAtStart)
+{
+    const InputTrace t = InputTrace::fromString("ababab");
+    const auto anchored = glushkovOffsets("ab", t.symbols(), true);
+    EXPECT_EQ(anchored, (std::vector<std::uint64_t>{1}));
+    const auto anywhere = glushkovOffsets("ab", t.symbols(), false);
+    EXPECT_EQ(anywhere, (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+TEST(Glushkov, HandPickedPatterns)
+{
+    expectAgreement("a(b|c)*d", "abcbcbd abd ad axd");
+    expectAgreement("x.y", "xay xxy x y");
+    expectAgreement("(ab)+", "ababab ab abab");
+    expectAgreement("a{2,3}b", "aab aaab aaaab ab");
+    expectAgreement("[a-c]+x", "abcx cx dx");
+    expectAgreement("a|bc|def", "a bc def abcdef");
+    expectAgreement("ab", "ab", true);
+    expectAgreement("a+b?c*", "aaa ab ac abccc", true);
+    expectAgreement("(a|ab)(c|bc)", "abc abbc ac");
+}
+
+TEST(Glushkov, NullablePatternDropsEmptyMatchButKeepsRest)
+{
+    // "a*" matches the empty string (dropped) and every run of a's.
+    const InputTrace t = InputTrace::fromString("baab");
+    const auto offs = glushkovOffsets("a*", t.symbols(), false);
+    EXPECT_EQ(offs, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Glushkov, RandomDifferentialSweep)
+{
+    Rng rng(2024);
+    int checked = 0;
+    for (int trial = 0; trial < 120; ++trial) {
+        const std::string pattern = randomPattern(rng);
+        const InputTrace text =
+            randomTextTrace(rng, 160, "abcdefgh\n ");
+        const bool anchored = rng.nextBool(0.3);
+        ASSERT_EQ(
+            glushkovOffsets(pattern, text.symbols(), anchored),
+            thompsonOffsets(pattern, text.symbols(), anchored))
+            << "pattern=" << pattern << " anchored=" << anchored;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 120);
+}
+
+TEST(Glushkov, StateCountEqualsPositions)
+{
+    // Glushkov uses exactly one state per literal position.
+    Nfa nfa;
+    RegexPtr ast = expandRepeats(parseRegex("(ab|cd)*ef"));
+    compileRegexInto(nfa, *ast, 7, false);
+    nfa.finalize();
+    EXPECT_EQ(nfa.size(), 6u);
+    // Reporting states carry the rule's code.
+    for (const StateId q : nfa.reportingStates())
+        EXPECT_EQ(nfa[q].reportCode, 7u);
+}
+
+TEST(Glushkov, RulesetCompilesEachRuleIndependently)
+{
+    const Nfa nfa = compileRuleset(
+        {{"abc", 1}, {"abd", 2}, {"xy", 3}}, "three");
+    EXPECT_EQ(nfa.size(), 8u);
+    EXPECT_EQ(nfa.reportingStates().size(), 3u);
+    EXPECT_EQ(nfa.startStates().size(), 3u);
+}
+
+} // namespace
+} // namespace pap

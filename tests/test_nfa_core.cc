@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Nfa container tests: building, finalize invariants, append,
+ * self-loops, and text serialization round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "nfa/nfa.h"
+#include "nfa/nfa_io.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+Nfa
+tinyMachine()
+{
+    Nfa nfa("tiny");
+    const StateId a =
+        nfa.addState(CharClass::single('a'), StartType::AllInput);
+    const StateId b = nfa.addState(CharClass::single('b'),
+                                   StartType::None, true, 5);
+    nfa.addEdge(a, b);
+    nfa.addEdge(a, b); // duplicate, removed by finalize
+    nfa.addEdge(b, b); // self loop
+    nfa.finalize();
+    return nfa;
+}
+
+TEST(NfaCore, FinalizeDeduplicatesAndSorts)
+{
+    const Nfa nfa = tinyMachine();
+    EXPECT_EQ(nfa.size(), 2u);
+    EXPECT_EQ(nfa.edgeCount(), 2u); // a->b once, b->b
+    EXPECT_EQ(nfa[0].succ, (std::vector<StateId>{1}));
+    EXPECT_TRUE(nfa.hasSelfLoop(1));
+    EXPECT_FALSE(nfa.hasSelfLoop(0));
+    EXPECT_EQ(nfa.startStates(), (std::vector<StateId>{0}));
+    EXPECT_EQ(nfa.reportingStates(), (std::vector<StateId>{1}));
+}
+
+TEST(NfaCore, MutationClearsFinalized)
+{
+    Nfa nfa = tinyMachine();
+    EXPECT_TRUE(nfa.finalized());
+    nfa.mutableState(0).reporting = true;
+    EXPECT_FALSE(nfa.finalized());
+    nfa.finalize();
+    EXPECT_EQ(nfa.reportingStates().size(), 2u);
+}
+
+TEST(NfaCore, AppendOffsetsIds)
+{
+    Nfa a = tinyMachine();
+    const Nfa b = tinyMachine();
+    const StateId offset = a.append(b);
+    EXPECT_EQ(offset, 2u);
+    a.finalize();
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_EQ(a[2].succ, (std::vector<StateId>{3}));
+    EXPECT_EQ(a.startStates().size(), 2u);
+}
+
+TEST(NfaCore, ValidatePassesOnWellFormed)
+{
+    const Nfa nfa = tinyMachine();
+    nfa.validate(); // must not panic
+}
+
+TEST(NfaIo, RoundTripTiny)
+{
+    const Nfa nfa = tinyMachine();
+    std::stringstream ss;
+    saveNfa(nfa, ss);
+    const Nfa back = loadNfa(ss);
+    ASSERT_EQ(back.size(), nfa.size());
+    EXPECT_EQ(back.name(), "tiny");
+    for (StateId q = 0; q < nfa.size(); ++q) {
+        EXPECT_EQ(back[q].label, nfa[q].label);
+        EXPECT_EQ(back[q].start, nfa[q].start);
+        EXPECT_EQ(back[q].reporting, nfa[q].reporting);
+        EXPECT_EQ(back[q].reportCode, nfa[q].reportCode);
+        EXPECT_EQ(back[q].succ, nfa[q].succ);
+    }
+}
+
+TEST(NfaIo, RoundTripRandomMachines)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Nfa nfa = randomNfa(rng, 5);
+        std::stringstream ss;
+        saveNfa(nfa, ss);
+        const Nfa back = loadNfa(ss);
+        ASSERT_EQ(back.size(), nfa.size());
+        for (StateId q = 0; q < nfa.size(); ++q) {
+            ASSERT_EQ(back[q].label, nfa[q].label);
+            ASSERT_EQ(back[q].succ, nfa[q].succ);
+        }
+    }
+}
+
+TEST(NfaIo, RejectsMalformedInput)
+{
+    auto load = [](const std::string &text) {
+        std::stringstream ss(text);
+        return loadNfa(ss);
+    };
+    EXPECT_THROW(load("garbage"), std::runtime_error);
+    EXPECT_THROW(load("papsim-nfa 1\nnope"), std::runtime_error);
+    EXPECT_THROW(load("papsim-nfa 1\nname x\nstates 2\nend\n"),
+                 std::runtime_error);
+    // Edge to a nonexistent state.
+    std::string bad = "papsim-nfa 1\nname x\nstates 1\ns 0 ";
+    bad += std::string(64, '0');
+    bad += " 0 0 0\ne 0 5\nend\n";
+    EXPECT_THROW(load(bad), std::runtime_error);
+}
+
+} // namespace
+} // namespace pap

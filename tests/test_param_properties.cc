@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P):
+ *  - Glushkov-vs-Thompson language agreement over a pattern corpus;
+ *  - Hamming/Levenshtein machines vs. brute-force oracles over a
+ *    (length, distance) grid;
+ *  - parallel == sequential equivalence over a (workload, segments,
+ *    quantum, optimization-subset) grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "ap/ap_config.h"
+#include "common/rng.h"
+#include "engine/reference_engine.h"
+#include "nfa/builders.h"
+#include "nfa/classical.h"
+#include "nfa/glushkov.h"
+#include "pap/runner.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+// ---------------------------------------------------------------
+// Pattern corpus: Glushkov agrees with the Thompson oracle.
+// ---------------------------------------------------------------
+
+class PatternAgreement : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(PatternAgreement, GlushkovMatchesThompson)
+{
+    const std::string pattern = GetParam();
+    Rng rng(std::hash<std::string>{}(pattern));
+    const InputTrace text = randomTextTrace(rng, 400, "abcdefgh\n ");
+
+    RegexPtr ast = expandRepeats(parseRegex(pattern));
+    Nfa hom;
+    compileRegexInto(hom, *ast, 1, /*anchored=*/false);
+    hom.finalize();
+    const ReferenceResult ref = referenceRun(hom, text.symbols());
+
+    const ClassicalNfa oracle = thompson(*ast, 1);
+    const auto accepted = oracle.simulate(text.symbols(), true);
+
+    std::set<std::uint64_t> got, expect;
+    for (const auto &e : ref.reports)
+        got.insert(e.offset);
+    for (std::size_t i = 0; i < accepted.size(); ++i)
+        if (!accepted[i].empty())
+            expect.insert(i);
+    EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PatternAgreement,
+    ::testing::Values(
+        "abc", "a|b|c", "(ab|ba)+", "a*b*c*", "a.{2}b", "[a-d]{3,5}",
+        "(a(b(c)d)e)", "x(yz|zy)*x", "a+b+", "((a|b)(c|d))+",
+        "[^ab]c", "a?a?a?aaa", "(ab)*(ba)*", "\\w\\s\\d",
+        "(a|ab)(c|bc)d?", "e(f|g){2,4}h", "a.*b.*c", "((a)|(b))*c"));
+
+// ---------------------------------------------------------------
+// Distance machines over a (length, distance) grid.
+// ---------------------------------------------------------------
+
+class DistanceGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static int
+    mismatches(const std::string &text, std::size_t end,
+               const std::string &pattern)
+    {
+        if (end + 1 < pattern.size())
+            return 1 << 20;
+        int count = 0;
+        const std::size_t start = end + 1 - pattern.size();
+        for (std::size_t i = 0; i < pattern.size(); ++i)
+            if (text[start + i] != pattern[i])
+                ++count;
+        return count;
+    }
+};
+
+TEST_P(DistanceGrid, HammingMachineEqualsSlidingWindowOracle)
+{
+    const auto [m, d] = GetParam();
+    Rng rng(100 + m * 10 + d);
+    std::string pattern;
+    for (int i = 0; i < m; ++i)
+        pattern += "ACGT"[rng.nextBelow(4)];
+    const Nfa nfa = buildHamming(pattern, d, 1, "h");
+
+    std::string text;
+    for (int i = 0; i < 200; ++i)
+        text += "ACGT"[rng.nextBelow(4)];
+    const InputTrace trace = InputTrace::fromString(text);
+    const ReferenceResult ref = referenceRun(nfa, trace.symbols());
+    std::set<std::uint64_t> got;
+    for (const auto &e : ref.reports)
+        got.insert(e.offset);
+
+    for (std::size_t end = 0; end < text.size(); ++end)
+        EXPECT_EQ(got.contains(end),
+                  mismatches(text, end, pattern) <= d)
+            << "end=" << end;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DistanceGrid,
+    ::testing::Combine(::testing::Values(4, 8, 12, 24),
+                       ::testing::Values(0, 1, 3)));
+
+// ---------------------------------------------------------------
+// Equivalence grid: workload x segments x quantum x optimizations.
+// ---------------------------------------------------------------
+
+struct EquivalenceCase
+{
+    const char *workload; // generator family
+    std::uint32_t halfCores;
+    std::uint32_t quantum;
+    int disabledKnob; // -1 = all optimizations on
+};
+
+void
+PrintTo(const EquivalenceCase &c, std::ostream *os)
+{
+    *os << c.workload << "/hc" << c.halfCores << "/q" << c.quantum
+        << "/knob" << c.disabledKnob;
+}
+
+class EquivalenceGrid
+    : public ::testing::TestWithParam<EquivalenceCase>
+{
+  protected:
+    static Nfa
+    build(const std::string &workload)
+    {
+        if (workload == "literals")
+            return compileRuleset({{"abcd", 1},
+                                   {"bcde", 2},
+                                   {"aaa", 3},
+                                   {"dcb", 4}},
+                                  workload);
+        if (workload == "dotstar")
+            return compileRuleset({{"ab.*cd", 1},
+                                   {"ef.*gh", 2},
+                                   {"b.*a", 3}},
+                                  workload);
+        if (workload == "classes")
+            return compileRuleset({{"[a-d]{2}[ef]+g", 1},
+                                   {"[^x]h[ab]", 2}},
+                                  workload);
+        if (workload == "anchored")
+            return compileRuleset({{"head", 1, true},
+                                   {"body", 2, false}},
+                                  workload);
+        if (workload == "hamming")
+            return buildHamming("abcdabcd", 2, 1, workload);
+        PAP_PANIC("unknown workload");
+    }
+};
+
+TEST_P(EquivalenceGrid, ParallelEqualsSequential)
+{
+    const EquivalenceCase c = GetParam();
+    const Nfa nfa = build(c.workload);
+    Rng rng(std::hash<std::string>{}(c.workload) ^ c.quantum);
+    const InputTrace input =
+        randomTextTrace(rng, 4096, "abcdefghx \n");
+
+    ApConfig board = ApConfig::d480(1);
+    board.devicesPerRank = c.halfCores;
+    board.halfCoresPerDevice = 1;
+
+    PapOptions opt;
+    opt.tdmQuantum = c.quantum;
+    switch (c.disabledKnob) {
+      case 0: opt.enableCcMerging = false; break;
+      case 1: opt.enableParentMerging = false; break;
+      case 2: opt.enableAsgMerging = false; break;
+      case 3: opt.enableConvergenceChecks = false; break;
+      case 4: opt.enableDeactivationChecks = false; break;
+      case 5: opt.enableFiv = false; break;
+      default: break;
+    }
+    const PapResult r = runPap(nfa, input, board, opt);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GE(r.speedup, 1.0);
+}
+
+std::vector<EquivalenceCase>
+equivalenceCases()
+{
+    std::vector<EquivalenceCase> cases;
+    for (const char *workload :
+         {"literals", "dotstar", "classes", "anchored", "hamming"}) {
+        for (const std::uint32_t hc : {3u, 8u})
+            for (const std::uint32_t quantum : {8u, 125u})
+                cases.push_back(
+                    EquivalenceCase{workload, hc, quantum, -1});
+        for (int knob = 0; knob < 6; ++knob)
+            cases.push_back(EquivalenceCase{workload, 5, 32, knob});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EquivalenceGrid,
+                         ::testing::ValuesIn(equivalenceCases()));
+
+} // namespace
+} // namespace pap

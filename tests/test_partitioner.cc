@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Range-guided partitioning tests: boundary-symbol profiling and the
+ * segment-cutting rules (coverage, snapping, degenerate inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nfa/glushkov.h"
+#include "pap/partitioner.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+TEST(Partitioner, PrefersFrequentSmallRangeSymbol)
+{
+    // 'z' never labels a transition target: range 0; the trace makes
+    // it frequent, so it must win over the letters of the rules.
+    const Nfa nfa = compileRuleset({{"abc", 1}, {"bcd", 2}}, "m");
+    const RangeAnalysis ranges(nfa);
+    std::string text;
+    for (int i = 0; i < 4000; ++i)
+        text += (i % 4 == 0) ? 'z' : "abcd"[i % 3];
+    const InputTrace input = InputTrace::fromString(text);
+    const PartitionProfile profile =
+        choosePartitionSymbol(ranges, input, 8);
+    EXPECT_EQ(profile.symbol, 'z');
+    EXPECT_EQ(profile.rangeSize, 0u);
+    EXPECT_GT(profile.frequency, 900u);
+}
+
+TEST(Partitioner, InfrequentSymbolDoesNotQualify)
+{
+    const Nfa nfa = compileRuleset({{"ab", 1}}, "m");
+    const RangeAnalysis ranges(nfa);
+    // 'z' has range 0 but appears only 3 times; 'a' is everywhere.
+    std::string text(5000, 'a');
+    text[100] = text[2000] = text[4000] = 'z';
+    const InputTrace input = InputTrace::fromString(text);
+    const PartitionProfile profile =
+        choosePartitionSymbol(ranges, input, 8);
+    EXPECT_EQ(profile.symbol, 'a');
+}
+
+TEST(Partitioner, SegmentsCoverInputExactly)
+{
+    Rng rng(3);
+    const InputTrace input = randomTextTrace(rng, 10007, "abcz");
+    for (const std::uint32_t segs : {1u, 2u, 7u, 16u, 64u}) {
+        const auto segments = partitionInput(input, 'z', segs);
+        ASSERT_FALSE(segments.empty());
+        EXPECT_LE(segments.size(), segs);
+        EXPECT_EQ(segments.front().begin, 0u);
+        EXPECT_EQ(segments.back().end, input.size());
+        for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+            EXPECT_EQ(segments[i].end, segments[i + 1].begin);
+            EXPECT_LT(segments[i].begin, segments[i].end);
+        }
+    }
+}
+
+TEST(Partitioner, CutsSnapToBoundarySymbol)
+{
+    // 'z' every 10 symbols: every interior cut should land just after
+    // a 'z' (the boundary symbol is the segment's last symbol).
+    std::string text;
+    for (int i = 0; i < 5000; ++i)
+        text += (i % 10 == 9) ? 'z' : 'a';
+    const InputTrace input = InputTrace::fromString(text);
+    const auto segments = partitionInput(input, 'z', 8);
+    ASSERT_EQ(segments.size(), 8u);
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i)
+        EXPECT_EQ(input[segments[i].end - 1], 'z');
+}
+
+TEST(Partitioner, MissingBoundaryStillCutsEvenly)
+{
+    const InputTrace input = InputTrace::fromString(
+        std::string(1000, 'a'));
+    const auto segments = partitionInput(input, 'z', 4);
+    ASSERT_EQ(segments.size(), 4u);
+    for (const auto &s : segments)
+        EXPECT_NEAR(static_cast<double>(s.length()), 250.0, 1.0);
+}
+
+TEST(Partitioner, TinyInputs)
+{
+    const InputTrace one = InputTrace::fromString("x");
+    const auto segments = partitionInput(one, 'x', 16);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].length(), 1u);
+
+    const InputTrace three = InputTrace::fromString("abc");
+    const auto s3 = partitionInput(three, 'b', 2);
+    EXPECT_EQ(s3.back().end, 3u);
+}
+
+} // namespace
+} // namespace pap

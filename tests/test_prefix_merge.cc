@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Common-prefix merging tests: trie-style compression of shared
+ * prefixes, idempotence, and (the critical property) preservation of
+ * the matched language, verified differentially with the reference
+ * engine on random rulesets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/reference_engine.h"
+#include "nfa/glushkov.h"
+#include "nfa/prefix_merge.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+TEST(PrefixMerge, SharedPrefixesCollapse)
+{
+    // "abcd" and "abce" share 3 states after merging: a, b, c.
+    const Nfa nfa =
+        compileRuleset({{"abcd", 1}, {"abce", 2}}, "two");
+    PrefixMergeStats stats;
+    const Nfa merged = commonPrefixMerge(nfa, &stats);
+    EXPECT_EQ(stats.statesBefore, 8u);
+    EXPECT_EQ(stats.statesAfter, 5u);
+    EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST(PrefixMerge, DistinctReportCodesDoNotMerge)
+{
+    // Identical patterns with different report codes must keep their
+    // reporting states apart (prefix shares, tails differ).
+    const Nfa nfa = compileRuleset({{"ab", 1}, {"ab", 2}}, "same");
+    const Nfa merged = commonPrefixMerge(nfa);
+    EXPECT_EQ(merged.size(), 3u); // shared 'a', two 'b' reporters
+    EXPECT_EQ(merged.reportingStates().size(), 2u);
+}
+
+TEST(PrefixMerge, IdenticalRulesMergeCompletely)
+{
+    const Nfa nfa = compileRuleset({{"abc", 7}, {"abc", 7}}, "dup");
+    const Nfa merged = commonPrefixMerge(nfa);
+    EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(PrefixMerge, Idempotent)
+{
+    Rng rng(4);
+    const Nfa nfa = randomNfa(rng, 6);
+    const Nfa once = commonPrefixMerge(nfa);
+    PrefixMergeStats stats;
+    const Nfa twice = commonPrefixMerge(once, &stats);
+    EXPECT_EQ(stats.statesBefore, stats.statesAfter);
+    EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(PrefixMerge, AnchoredAndUnanchoredStartsStaySeparate)
+{
+    const Nfa nfa = compileRuleset(
+        {{"ab", 1, true}, {"ab", 1, false}}, "mixed");
+    const Nfa merged = commonPrefixMerge(nfa);
+    // Different start types on the heads prevent the merge.
+    EXPECT_EQ(merged.size(), 4u);
+}
+
+TEST(PrefixMerge, LanguagePreservedOnRandomRulesets)
+{
+    Rng rng(55);
+    for (int trial = 0; trial < 25; ++trial) {
+        const Nfa nfa = randomNfa(rng, 6);
+        const Nfa merged = commonPrefixMerge(nfa);
+        EXPECT_LE(merged.size(), nfa.size());
+        const InputTrace text =
+            randomTextTrace(rng, 300, "abcdefgh\n ");
+        const ReferenceResult a = referenceRun(nfa, text.symbols());
+        const ReferenceResult b =
+            referenceRun(merged, text.symbols());
+        // Compare (offset, code) multisets; state ids changed.
+        auto strip = [](const std::vector<ReportEvent> &events) {
+            std::vector<std::pair<std::uint64_t, ReportCode>> out;
+            for (const auto &e : events)
+                out.emplace_back(e.offset, e.code);
+            std::sort(out.begin(), out.end());
+            out.erase(std::unique(out.begin(), out.end()), out.end());
+            return out;
+        };
+        ASSERT_EQ(strip(a.reports), strip(b.reports))
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace pap

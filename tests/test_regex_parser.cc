@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Regex parser tests: syntax coverage, error reporting, repeat
+ * expansion, and nullability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nfa/regex.h"
+
+namespace pap {
+namespace {
+
+RegexPtr
+parse(const std::string &s)
+{
+    return parseRegex(s);
+}
+
+TEST(RegexParser, SingleLiteral)
+{
+    const RegexPtr r = parse("a");
+    EXPECT_EQ(r->op, RegexOp::Literal);
+    EXPECT_TRUE(r->cls.test('a'));
+    EXPECT_EQ(r->cls.count(), 1);
+}
+
+TEST(RegexParser, ConcatAndAlt)
+{
+    const RegexPtr r = parse("ab|cd");
+    EXPECT_EQ(r->op, RegexOp::Alt);
+    ASSERT_EQ(r->children.size(), 2u);
+    EXPECT_EQ(r->children[0]->op, RegexOp::Concat);
+}
+
+TEST(RegexParser, Quantifiers)
+{
+    EXPECT_EQ(parse("a*")->op, RegexOp::Star);
+    EXPECT_EQ(parse("a+")->op, RegexOp::Plus);
+    EXPECT_EQ(parse("a?")->op, RegexOp::Opt);
+    const RegexPtr r = parse("a{2,5}");
+    EXPECT_EQ(r->op, RegexOp::Repeat);
+    EXPECT_EQ(r->repeatMin, 2);
+    EXPECT_EQ(r->repeatMax, 5);
+    const RegexPtr unbounded = parse("a{3,}");
+    EXPECT_EQ(unbounded->repeatMax, -1);
+    const RegexPtr exact = parse("a{4}");
+    EXPECT_EQ(exact->repeatMin, 4);
+    EXPECT_EQ(exact->repeatMax, 4);
+}
+
+TEST(RegexParser, StackedQuantifiers)
+{
+    // (a*)? parses as Opt(Star(a)).
+    const RegexPtr r = parse("a*?");
+    EXPECT_EQ(r->op, RegexOp::Opt);
+    EXPECT_EQ(r->children[0]->op, RegexOp::Star);
+}
+
+TEST(RegexParser, Dot)
+{
+    const RegexPtr r = parse(".");
+    EXPECT_TRUE(r->cls.full());
+}
+
+TEST(RegexParser, Escapes)
+{
+    EXPECT_TRUE(parse("\\n")->cls.test('\n'));
+    EXPECT_TRUE(parse("\\t")->cls.test('\t'));
+    EXPECT_TRUE(parse("\\\\")->cls.test('\\'));
+    EXPECT_TRUE(parse("\\.")->cls.test('.'));
+    EXPECT_EQ(parse("\\.")->cls.count(), 1);
+    EXPECT_TRUE(parse("\\x41")->cls.test('A'));
+    EXPECT_TRUE(parse("\\xff")->cls.test(0xff));
+    const RegexPtr d = parse("\\d");
+    EXPECT_EQ(d->cls.count(), 10);
+    EXPECT_TRUE(parse("\\w")->cls.test('_'));
+    EXPECT_TRUE(parse("\\s")->cls.test(' '));
+    EXPECT_FALSE(parse("\\S")->cls.test(' '));
+    EXPECT_EQ(parse("\\D")->cls.count(), 246);
+}
+
+TEST(RegexParser, CharClasses)
+{
+    const RegexPtr r = parse("[a-cx]");
+    EXPECT_EQ(r->cls.count(), 4);
+    EXPECT_TRUE(r->cls.test('b') && r->cls.test('x'));
+
+    const RegexPtr neg = parse("[^a]");
+    EXPECT_EQ(neg->cls.count(), 255);
+    EXPECT_FALSE(neg->cls.test('a'));
+
+    // ']' as first member is literal.
+    const RegexPtr bracket = parse("[]a]");
+    EXPECT_TRUE(bracket->cls.test(']'));
+    EXPECT_TRUE(bracket->cls.test('a'));
+
+    // '-' at the end is literal.
+    const RegexPtr dash = parse("[a-]");
+    EXPECT_TRUE(dash->cls.test('-'));
+
+    // Escapes inside classes.
+    const RegexPtr esc = parse("[\\n\\x20]");
+    EXPECT_TRUE(esc->cls.test('\n'));
+    EXPECT_TRUE(esc->cls.test(' '));
+
+    // Escaped range endpoints.
+    const RegexPtr er = parse("[\\x30-\\x39]");
+    EXPECT_EQ(er->cls.count(), 10);
+}
+
+TEST(RegexParser, Grouping)
+{
+    const RegexPtr r = parse("(ab)+c");
+    EXPECT_EQ(r->op, RegexOp::Concat);
+    EXPECT_EQ(r->children[0]->op, RegexOp::Plus);
+}
+
+TEST(RegexParser, Errors)
+{
+    EXPECT_THROW(parse(""), RegexError);
+    EXPECT_THROW(parse("("), RegexError);
+    EXPECT_THROW(parse("a)"), RegexError);
+    EXPECT_THROW(parse("*a"), RegexError);
+    EXPECT_THROW(parse("a|"), RegexError);
+    EXPECT_THROW(parse("|a"), RegexError);
+    EXPECT_THROW(parse("[abc"), RegexError);
+    EXPECT_THROW(parse("a{2,1}"), RegexError);
+    EXPECT_THROW(parse("a{"), RegexError);
+    EXPECT_THROW(parse("a{9999999}"), RegexError);
+    EXPECT_THROW(parse("[z-a]"), RegexError);
+    EXPECT_THROW(parse("\\xg1"), RegexError);
+    try {
+        parse("ab(cd");
+    } catch (const RegexError &e) {
+        EXPECT_GT(e.position(), 0u);
+    }
+}
+
+TEST(RegexParser, ExpandRepeats)
+{
+    RegexPtr r = expandRepeats(parse("a{3}"));
+    EXPECT_EQ(r->op, RegexOp::Concat);
+    EXPECT_EQ(r->children.size(), 3u);
+
+    r = expandRepeats(parse("a{1,3}"));
+    EXPECT_EQ(r->op, RegexOp::Concat);
+    EXPECT_EQ(r->children.size(), 3u); // a (a?) (a?)
+    EXPECT_EQ(r->children[1]->op, RegexOp::Opt);
+
+    r = expandRepeats(parse("a{2,}"));
+    EXPECT_EQ(r->op, RegexOp::Concat);
+    EXPECT_EQ(r->children.back()->op, RegexOp::Star);
+
+    // Nested repeats expand everywhere.
+    r = expandRepeats(parse("(a{2}){2}"));
+    EXPECT_EQ(regexNullable(*r), false);
+}
+
+TEST(RegexParser, Nullability)
+{
+    EXPECT_FALSE(regexNullable(*parse("a")));
+    EXPECT_TRUE(regexNullable(*parse("a*")));
+    EXPECT_TRUE(regexNullable(*parse("a?")));
+    EXPECT_FALSE(regexNullable(*parse("a+")));
+    EXPECT_TRUE(regexNullable(*parse("(a*)+")));
+    EXPECT_TRUE(regexNullable(*parse("a*b*")));
+    EXPECT_FALSE(regexNullable(*parse("a*b")));
+    EXPECT_TRUE(regexNullable(*parse("a|b*")));
+    EXPECT_TRUE(regexNullable(*parse("a{0,3}")));
+}
+
+TEST(RegexParser, RoundTripToString)
+{
+    // toString output must re-parse to an equivalent tree (checked
+    // via another round of toString).
+    for (const char *pattern :
+         {"ab|cd", "(a|b)*c", "a{2,4}x", "[a-f]+\\n", "x.?y"}) {
+        const std::string once = regexToString(*parse(pattern));
+        const std::string twice = regexToString(*parse(once));
+        EXPECT_EQ(once, twice) << pattern;
+    }
+}
+
+TEST(RegexParser, CloneIsDeep)
+{
+    RegexPtr r = parse("(ab)+c");
+    RegexPtr c = r->clone();
+    r->children.clear();
+    EXPECT_EQ(c->op, RegexOp::Concat);
+    EXPECT_EQ(c->children.size(), 2u);
+}
+
+} // namespace
+} // namespace pap

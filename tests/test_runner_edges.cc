@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Runner edge cases and diagnostics: segment-count capping on short
+ * inputs, per-segment diagnostics consistency, boundary-symbol
+ * reporting, sequential fallback, and option plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ap/ap_config.h"
+#include "common/rng.h"
+#include "nfa/glushkov.h"
+#include "pap/runner.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+ApConfig
+tinyBoard(std::uint32_t half_cores)
+{
+    ApConfig cfg = ApConfig::d480(1);
+    cfg.devicesPerRank = half_cores;
+    cfg.halfCoresPerDevice = 1;
+    return cfg;
+}
+
+TEST(RunnerEdges, ShortInputCapsSegmentCount)
+{
+    const Nfa nfa = compileRuleset({{"ab", 1}}, "m");
+    PapOptions opt;
+    opt.tdmQuantum = 125;
+    // 600 symbols / (2 x 125) = 2 segments even on a 16-half-core
+    // board.
+    Rng rng(81);
+    const InputTrace input = randomTextTrace(rng, 600, "ab ");
+    const PapResult r = runPap(nfa, input, tinyBoard(16), opt);
+    EXPECT_EQ(r.numSegments, 2u);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(RunnerEdges, VeryShortInputFallsBackToSequential)
+{
+    const Nfa nfa = compileRuleset({{"ab", 1}}, "m");
+    const InputTrace input = InputTrace::fromString("ababab");
+    const PapResult r = runPap(nfa, input, tinyBoard(16));
+    EXPECT_EQ(r.numSegments, 1u);
+    EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+    EXPECT_TRUE(r.verified);
+    ASSERT_EQ(r.reports.size(), 3u);
+}
+
+TEST(RunnerEdges, SegmentDiagnosticsAreConsistent)
+{
+    Rng rng(82);
+    const Nfa nfa = compileRuleset(
+        {{"abc.*de", 1}, {"fgh", 2}, {"aab", 3}}, "m");
+    const InputTrace input =
+        randomTextTrace(rng, 16384, "abcdefgh ");
+    const PapResult r = runPap(nfa, input, tinyBoard(8));
+    ASSERT_EQ(r.segments.size(), r.numSegments);
+
+    std::uint64_t covered = 0;
+    std::uint64_t entries = 0;
+    for (std::size_t j = 0; j < r.segments.size(); ++j) {
+        const auto &d = r.segments[j];
+        EXPECT_EQ(d.begin, covered);
+        covered += d.length;
+        entries += d.entries;
+        // Flow outcomes partition the planned flows (+1 ASG flow is
+        // not an enumeration flow and is excluded from all counters).
+        EXPECT_EQ(d.deactivated + d.converged + d.ranToEnd, d.flows)
+            << "segment " << j;
+        EXPECT_LE(d.truePaths, d.totalPaths);
+        EXPECT_LE(d.tDone, d.tResolve);
+        if (j == 0) {
+            EXPECT_EQ(d.flows, 0u); // golden segment
+            EXPECT_EQ(d.totalPaths, 0u);
+        }
+    }
+    EXPECT_EQ(covered, input.size());
+    EXPECT_EQ(entries, r.papReportEvents);
+}
+
+TEST(RunnerEdges, BoundaryProfileReported)
+{
+    const Nfa nfa = compileRuleset({{"abc", 1}}, "m");
+    // 'z' never appears in a label: range 0; make it frequent.
+    std::string text;
+    for (int i = 0; i < 8000; ++i)
+        text += (i % 5 == 4) ? 'z' : "abc"[i % 3];
+    const InputTrace input = InputTrace::fromString(text);
+    const PapResult r = runPap(nfa, input, tinyBoard(8));
+    // Both 'z' (absent from all labels) and 'c' (the final state has
+    // no successors) have range 0; frequency breaks the tie.
+    EXPECT_TRUE(r.boundarySymbol == 'z' || r.boundarySymbol == 'c');
+    EXPECT_EQ(r.boundaryRangeSize, 0u);
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(RunnerEdges, ReportCostAffectsBaseline)
+{
+    const Nfa nfa = compileRuleset({{"a", 1}}, "m");
+    const InputTrace input =
+        InputTrace::fromString(std::string(5000, 'a'));
+    PapOptions cheap, pricey;
+    cheap.reportCostCyclesPerEvent = 0.0;
+    pricey.reportCostCyclesPerEvent = 2.0;
+    const auto seq_cheap = runSequential(nfa, input, cheap);
+    const auto seq_pricey = runSequential(nfa, input, pricey);
+    EXPECT_EQ(seq_cheap.cycles, 5000u);
+    EXPECT_EQ(seq_pricey.cycles, 5000u + 10000u);
+    EXPECT_EQ(seq_cheap.reports.size(), 5000u);
+}
+
+TEST(RunnerEdges, MaxFlowsLimitIsObserved)
+{
+    // Limit of 1 flow per segment: a two-star single-component rule
+    // needs 2, which must fail fast. Death tests fork, so only run
+    // where gtest supports it.
+    const Nfa nfa = compileRuleset({{"ab.*cd.*ef", 1}}, "m");
+    Rng rng(83);
+    const InputTrace input = randomTextTrace(rng, 8192, "abcdef");
+    PapOptions opt;
+    opt.maxFlowsPerSegment = 1;
+    EXPECT_EXIT(runPap(nfa, input, tinyBoard(4), opt),
+                ::testing::ExitedWithCode(1), "enumeration flows");
+}
+
+} // namespace
+} // namespace pap

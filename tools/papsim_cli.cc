@@ -1,0 +1,363 @@
+/**
+ * @file
+ * papsim — command-line front end to the PAPsim library.
+ *
+ * Subcommands:
+ *   compile  <rules.txt> <out.nfa> [--anchored] [--prefix-merge]
+ *       Compile a ruleset file (one regex per line; lines starting
+ *       with '#' are comments) into a papsim NFA file.
+ *   analyze  <in.nfa>
+ *       Print states, edges, components, ranges, ASG size, and the
+ *       AP footprint of an automaton.
+ *   gentrace <in.nfa> <out.bin> <length> [--pm=P] [--seed=N]
+ *              [--alphabet=CHARS]
+ *       Generate a p_m-model input trace for an automaton.
+ *   run      <in.nfa> <trace.bin> [--ranks=N] [--sequential]
+ *              [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]
+ *       Execute a trace sequentially, with the Parallel Automata
+ *       Processor framework (default), or speculatively.
+ *   convert  <in> <out>
+ *       Convert between the papsim text format (.nfa) and ANML
+ *       (.anml); all commands accept either by extension.
+ *   bench    <name>
+ *       Build a registered Table-1 benchmark and print its profile.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ap/ap_config.h"
+#include "ap/placement.h"
+#include "common/logging.h"
+#include "nfa/analysis.h"
+#include "nfa/anml.h"
+#include "nfa/glushkov.h"
+#include "nfa/nfa_io.h"
+#include "nfa/prefix_merge.h"
+#include "pap/runner.h"
+#include "pap/speculative.h"
+#include "workloads/benchmarks.h"
+#include "workloads/trace_gen.h"
+
+using namespace pap;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: papsim <command> [args]\n"
+        "  compile  <rules.txt> <out.nfa> [--anchored] [--prefix-merge]\n"
+        "  analyze  <in.nfa>\n"
+        "  gentrace <in.nfa> <out.bin> <length> [--pm=P] [--seed=N]\n"
+        "           [--alphabet=CHARS]\n"
+        "  run      <in.nfa> <trace.bin> [--ranks=N] [--sequential]\n"
+        "           [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]\n"
+        "           [--verbose]\n"
+        "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
+        "  bench    <name>\n");
+    return 2;
+}
+
+bool
+hasExtension(const std::string &path, const char *ext)
+{
+    const std::string suffix = std::string(".") + ext;
+    return path.size() > suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** Load .anml or papsim-text automata by extension. */
+Nfa
+loadAutomaton(const std::string &path)
+{
+    return hasExtension(path, "anml") ? loadAnmlFile(path)
+                                      : loadNfaFile(path);
+}
+
+/** Save .anml or papsim-text automata by extension. */
+void
+saveAutomaton(const Nfa &nfa, const std::string &path)
+{
+    if (hasExtension(path, "anml"))
+        saveAnmlFile(nfa, path);
+    else
+        saveNfaFile(nfa, path);
+}
+
+bool
+flagValue(const std::vector<std::string> &args, const std::string &name,
+          std::string *out)
+{
+    const std::string prefix = name + "=";
+    for (const auto &a : args) {
+        if (a == name) {
+            *out = "";
+            return true;
+        }
+        if (a.rfind(prefix, 0) == 0) {
+            *out = a.substr(prefix.size());
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+cmdCompile(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    std::ifstream is(args[0]);
+    if (!is)
+        PAP_FATAL("cannot open rules file '", args[0], "'");
+    std::string dummy;
+    const bool anchored = flagValue(args, "--anchored", &dummy);
+    const bool merge = flagValue(args, "--prefix-merge", &dummy);
+
+    std::vector<RegexRule> rules;
+    std::string line;
+    ReportCode code = 0;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        rules.push_back(RegexRule{line, code++, anchored});
+    }
+    if (rules.empty())
+        PAP_FATAL("no rules found in '", args[0], "'");
+    Nfa nfa = compileRuleset(rules, args[0]);
+    if (merge)
+        nfa = commonPrefixMerge(nfa);
+    saveAutomaton(nfa, args[1]);
+    std::printf("compiled %zu rules -> %zu states, %zu edges -> %s\n",
+                rules.size(), nfa.size(), nfa.edgeCount(),
+                args[1].c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    const Nfa nfa = loadAutomaton(args[0]);
+    const Components comps = connectedComponents(nfa);
+    const RangeAnalysis ranges(nfa);
+    const auto asg = alwaysActiveStates(nfa);
+    const DegreeStats degrees = degreeStats(nfa);
+
+    std::printf("name:              %s\n", nfa.name().c_str());
+    std::printf("states:            %zu\n", nfa.size());
+    std::printf("edges:             %zu (avg out %.2f, max %u, "
+                "self-loops %u)\n",
+                nfa.edgeCount(), degrees.avgOut, degrees.maxOut,
+                degrees.selfLoops);
+    std::printf("start states:      %zu\n", nfa.startStates().size());
+    std::printf("reporting states:  %zu\n",
+                nfa.reportingStates().size());
+    std::printf("components:        %u\n", comps.count);
+    std::printf("always-active:     %zu\n", asg.size());
+    std::printf("symbol range:      min %u / avg %.1f / max %u\n",
+                ranges.minRange(), ranges.avgRange(),
+                ranges.maxRange());
+    for (const std::uint32_t r : {1u, 4u}) {
+        const ApConfig cfg = ApConfig::d480(r);
+        const Placement p = placeAutomaton(nfa, comps, cfg);
+        std::printf("D480 x%u ranks:     %u half-core(s)/copy, %u "
+                    "parallel segments\n",
+                    r, p.halfCoresPerCopy, p.inputSegments(cfg));
+    }
+    return 0;
+}
+
+int
+cmdGenTrace(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    const Nfa nfa = loadAutomaton(args[0]);
+    const std::uint64_t len = std::strtoull(args[2].c_str(), nullptr, 0);
+    if (len == 0)
+        PAP_FATAL("trace length must be positive");
+
+    TraceGenOptions opt;
+    std::string v;
+    opt.pm = flagValue(args, "--pm", &v) ? std::atof(v.c_str()) : 0.75;
+    const std::uint64_t seed =
+        flagValue(args, "--seed", &v)
+            ? std::strtoull(v.c_str(), nullptr, 0)
+            : 1;
+    if (flagValue(args, "--alphabet", &v) && !v.empty()) {
+        opt.baseAlphabet = alphabetFromString(v);
+    } else {
+        // Default: the symbols the automaton itself can match.
+        CharClass used;
+        for (StateId q = 0; q < nfa.size(); ++q)
+            used |= nfa[q].label;
+        opt.baseAlphabet = used.full()
+                               ? alphabetFromRange(0, 255)
+                               : used.toSymbols();
+    }
+    const InputTrace trace = generateTrace(nfa, len, opt, seed);
+    std::ofstream os(args[1], std::ios::binary);
+    if (!os)
+        PAP_FATAL("cannot open '", args[1], "' for writing");
+    os.write(reinterpret_cast<const char *>(trace.begin()),
+             static_cast<std::streamsize>(trace.size()));
+    std::printf("wrote %zu symbols (pm=%.2f, seed=%llu) -> %s\n",
+                trace.size(), opt.pm,
+                static_cast<unsigned long long>(seed),
+                args[1].c_str());
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const Nfa nfa = loadAutomaton(args[0]);
+    const InputTrace trace = InputTrace::fromFile(args[1]);
+
+    std::string v;
+    const std::uint32_t ranks =
+        flagValue(args, "--ranks", &v)
+            ? static_cast<std::uint32_t>(std::atoi(v.c_str()))
+            : 1;
+    const std::uint64_t max_reports =
+        flagValue(args, "--max-reports", &v)
+            ? std::strtoull(v.c_str(), nullptr, 0)
+            : 10;
+
+    std::vector<ReportEvent> reports;
+    if (flagValue(args, "--sequential", &v)) {
+        const SequentialResult r = runSequential(nfa, trace);
+        std::printf("sequential: %zu matches, %llu cycles (%.3f ms on "
+                    "AP)\n",
+                    r.reports.size(),
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<double>(r.cycles) * 7.5e-6);
+        reports = r.reports;
+    } else if (flagValue(args, "--spec", &v)) {
+        SpeculationOptions opt;
+        if (!v.empty())
+            opt.warmupWindow =
+                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        const SpeculationResult r =
+            runSpeculative(nfa, trace, ApConfig::d480(ranks), opt);
+        std::printf("speculative: %zu matches, %u segments, accuracy "
+                    "%.2f, speedup %.2fx%s\n",
+                    r.reports.size(), r.numSegments, r.accuracy,
+                    r.speedup, r.verified ? " (verified)" : "");
+        reports = r.reports;
+    } else {
+        PapOptions opt;
+        if (flagValue(args, "--quantum", &v))
+            opt.tdmQuantum =
+                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        const bool verbose = flagValue(args, "--verbose", &v);
+        const PapResult r =
+            runPap(nfa, trace, ApConfig::d480(ranks), opt);
+        if (verbose) {
+            std::printf("  seg       begin    length  flows  deact  "
+                        "conv  live  true/paths     tDone   tResolve"
+                        "   entries\n");
+            for (std::size_t j = 0; j < r.segments.size(); ++j) {
+                const auto &d = r.segments[j];
+                std::printf("  %3zu  %10llu  %8llu  %5u  %5u  %4u  "
+                            "%4u  %5u/%-5u  %8llu  %9llu  %8llu\n",
+                            j,
+                            static_cast<unsigned long long>(d.begin),
+                            static_cast<unsigned long long>(d.length),
+                            d.flows, d.deactivated, d.converged,
+                            d.ranToEnd, d.truePaths, d.totalPaths,
+                            static_cast<unsigned long long>(d.tDone),
+                            static_cast<unsigned long long>(
+                                d.tResolve),
+                            static_cast<unsigned long long>(
+                                d.entries));
+            }
+        }
+        std::printf(
+            "PAP: %zu matches, %u segments (ideal %ux), speedup "
+            "%.2fx%s\n  flows range/cc/parent/active = "
+            "%.0f/%.0f/%.0f/%.1f, switch %.2f%%, inflation %.1fx\n",
+            r.reports.size(), r.numSegments, r.idealSpeedup, r.speedup,
+            r.verified ? " (verified)" : "", r.flowsInRange,
+            r.flowsAfterCc, r.flowsAfterParent, r.avgActiveFlows,
+            r.switchOverheadPct, r.reportInflation);
+        reports = r.reports;
+    }
+    for (std::size_t i = 0; i < reports.size() && i < max_reports; ++i)
+        std::printf("  match @%llu rule %u\n",
+                    static_cast<unsigned long long>(reports[i].offset),
+                    reports[i].code);
+    if (reports.size() > max_reports)
+        std::printf("  ... %zu more\n", reports.size() - max_reports);
+    return 0;
+}
+
+int
+cmdConvert(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const Nfa nfa = loadAutomaton(args[0]);
+    saveAutomaton(nfa, args[1]);
+    std::printf("converted %s (%zu states) -> %s\n", args[0].c_str(),
+                nfa.size(), args[1].c_str());
+    return 0;
+}
+
+int
+cmdBench(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::printf("registered benchmarks:\n");
+        for (const auto &info : benchmarkRegistry())
+            std::printf("  %s\n", info.name.c_str());
+        return 0;
+    }
+    const BenchmarkInfo &info = benchmarkInfo(args[0]);
+    const Nfa nfa = buildBenchmark(info.name);
+    const Components comps = connectedComponents(nfa);
+    std::printf("%s: %zu states (paper %u), %u components (paper %u)\n",
+                info.name.c_str(), nfa.size(), info.paper.states,
+                comps.count, info.paper.components);
+    std::string out = info.name + ".nfa";
+    saveNfaFile(nfa, out);
+    std::printf("saved -> %s\n", out.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Warn);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "compile")
+        return cmdCompile(args);
+    if (cmd == "analyze")
+        return cmdAnalyze(args);
+    if (cmd == "gentrace")
+        return cmdGenTrace(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "convert")
+        return cmdConvert(args);
+    if (cmd == "bench")
+        return cmdBench(args);
+    return usage();
+}
