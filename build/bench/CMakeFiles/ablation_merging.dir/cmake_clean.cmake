@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merging.dir/ablation_merging.cc.o"
+  "CMakeFiles/ablation_merging.dir/ablation_merging.cc.o.d"
+  "ablation_merging"
+  "ablation_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dfa_blowup.dir/ext_dfa_blowup.cc.o"
+  "CMakeFiles/ext_dfa_blowup.dir/ext_dfa_blowup.cc.o.d"
+  "ext_dfa_blowup"
+  "ext_dfa_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dfa_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_dfa_blowup.
+# This may be replaced when dependencies are built.

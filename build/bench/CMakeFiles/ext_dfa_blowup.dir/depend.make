@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dfa_blowup.
+# This may be replaced when dependencies are built.

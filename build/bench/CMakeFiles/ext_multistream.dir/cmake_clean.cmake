@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multistream.dir/ext_multistream.cc.o"
+  "CMakeFiles/ext_multistream.dir/ext_multistream.cc.o.d"
+  "ext_multistream"
+  "ext_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

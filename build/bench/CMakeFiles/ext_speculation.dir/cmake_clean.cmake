@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_speculation.dir/ext_speculation.cc.o"
+  "CMakeFiles/ext_speculation.dir/ext_speculation.cc.o.d"
+  "ext_speculation"
+  "ext_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_report_inflation.dir/fig12_report_inflation.cc.o"
+  "CMakeFiles/fig12_report_inflation.dir/fig12_report_inflation.cc.o.d"
+  "fig12_report_inflation"
+  "fig12_report_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_report_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_symbol_ranges.dir/fig3_symbol_ranges.cc.o"
+  "CMakeFiles/fig3_symbol_ranges.dir/fig3_symbol_ranges.cc.o.d"
+  "fig3_symbol_ranges"
+  "fig3_symbol_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_symbol_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_flow_reduction.dir/fig9_flow_reduction.cc.o"
+  "CMakeFiles/fig9_flow_reduction.dir/fig9_flow_reduction.cc.o.d"
+  "fig9_flow_reduction"
+  "fig9_flow_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_flow_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

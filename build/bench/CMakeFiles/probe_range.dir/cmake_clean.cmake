@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_range.dir/probe_range.cc.o"
+  "CMakeFiles/probe_range.dir/probe_range.cc.o.d"
+  "probe_range"
+  "probe_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_timing.dir/probe_timing.cc.o"
+  "CMakeFiles/probe_timing.dir/probe_timing.cc.o.d"
+  "probe_timing"
+  "probe_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_context_switch.dir/sens_context_switch.cc.o"
+  "CMakeFiles/sens_context_switch.dir/sens_context_switch.cc.o.d"
+  "sens_context_switch"
+  "sens_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_energy.dir/sens_energy.cc.o"
+  "CMakeFiles/sens_energy.dir/sens_energy.cc.o.d"
+  "sens_energy"
+  "sens_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_quantum.dir/sens_quantum.cc.o"
+  "CMakeFiles/sens_quantum.dir/sens_quantum.cc.o.d"
+  "sens_quantum"
+  "sens_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

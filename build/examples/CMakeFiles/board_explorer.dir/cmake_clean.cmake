@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_explorer.dir/board_explorer.cpp.o"
+  "CMakeFiles/board_explorer.dir/board_explorer.cpp.o.d"
+  "board_explorer"
+  "board_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

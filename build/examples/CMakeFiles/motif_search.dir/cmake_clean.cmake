@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_search.dir/motif_search.cpp.o"
+  "CMakeFiles/motif_search.dir/motif_search.cpp.o.d"
+  "motif_search"
+  "motif_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_mining.dir/sequence_mining.cpp.o"
+  "CMakeFiles/sequence_mining.dir/sequence_mining.cpp.o.d"
+  "sequence_mining"
+  "sequence_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

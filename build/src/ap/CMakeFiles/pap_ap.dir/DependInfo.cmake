@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/ap_config.cc" "src/ap/CMakeFiles/pap_ap.dir/ap_config.cc.o" "gcc" "src/ap/CMakeFiles/pap_ap.dir/ap_config.cc.o.d"
+  "/root/repo/src/ap/energy.cc" "src/ap/CMakeFiles/pap_ap.dir/energy.cc.o" "gcc" "src/ap/CMakeFiles/pap_ap.dir/energy.cc.o.d"
+  "/root/repo/src/ap/placement.cc" "src/ap/CMakeFiles/pap_ap.dir/placement.cc.o" "gcc" "src/ap/CMakeFiles/pap_ap.dir/placement.cc.o.d"
+  "/root/repo/src/ap/report_buffer.cc" "src/ap/CMakeFiles/pap_ap.dir/report_buffer.cc.o" "gcc" "src/ap/CMakeFiles/pap_ap.dir/report_buffer.cc.o.d"
+  "/root/repo/src/ap/state_vector_cache.cc" "src/ap/CMakeFiles/pap_ap.dir/state_vector_cache.cc.o" "gcc" "src/ap/CMakeFiles/pap_ap.dir/state_vector_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfa/CMakeFiles/pap_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_ap.dir/ap_config.cc.o"
+  "CMakeFiles/pap_ap.dir/ap_config.cc.o.d"
+  "CMakeFiles/pap_ap.dir/energy.cc.o"
+  "CMakeFiles/pap_ap.dir/energy.cc.o.d"
+  "CMakeFiles/pap_ap.dir/placement.cc.o"
+  "CMakeFiles/pap_ap.dir/placement.cc.o.d"
+  "CMakeFiles/pap_ap.dir/report_buffer.cc.o"
+  "CMakeFiles/pap_ap.dir/report_buffer.cc.o.d"
+  "CMakeFiles/pap_ap.dir/state_vector_cache.cc.o"
+  "CMakeFiles/pap_ap.dir/state_vector_cache.cc.o.d"
+  "libpap_ap.a"
+  "libpap_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

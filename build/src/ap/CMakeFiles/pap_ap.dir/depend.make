@@ -1,0 +1,2 @@
+# Empty dependencies file for pap_ap.
+# This may be replaced when dependencies are built.

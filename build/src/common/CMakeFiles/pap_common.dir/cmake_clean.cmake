@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_common.dir/bitvector.cc.o"
+  "CMakeFiles/pap_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/pap_common.dir/charclass.cc.o"
+  "CMakeFiles/pap_common.dir/charclass.cc.o.d"
+  "CMakeFiles/pap_common.dir/logging.cc.o"
+  "CMakeFiles/pap_common.dir/logging.cc.o.d"
+  "CMakeFiles/pap_common.dir/rng.cc.o"
+  "CMakeFiles/pap_common.dir/rng.cc.o.d"
+  "CMakeFiles/pap_common.dir/stats.cc.o"
+  "CMakeFiles/pap_common.dir/stats.cc.o.d"
+  "CMakeFiles/pap_common.dir/table.cc.o"
+  "CMakeFiles/pap_common.dir/table.cc.o.d"
+  "libpap_common.a"
+  "libpap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

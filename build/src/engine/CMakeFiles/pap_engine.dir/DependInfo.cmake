@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/compiled_nfa.cc" "src/engine/CMakeFiles/pap_engine.dir/compiled_nfa.cc.o" "gcc" "src/engine/CMakeFiles/pap_engine.dir/compiled_nfa.cc.o.d"
+  "/root/repo/src/engine/determinize.cc" "src/engine/CMakeFiles/pap_engine.dir/determinize.cc.o" "gcc" "src/engine/CMakeFiles/pap_engine.dir/determinize.cc.o.d"
+  "/root/repo/src/engine/functional_engine.cc" "src/engine/CMakeFiles/pap_engine.dir/functional_engine.cc.o" "gcc" "src/engine/CMakeFiles/pap_engine.dir/functional_engine.cc.o.d"
+  "/root/repo/src/engine/reference_engine.cc" "src/engine/CMakeFiles/pap_engine.dir/reference_engine.cc.o" "gcc" "src/engine/CMakeFiles/pap_engine.dir/reference_engine.cc.o.d"
+  "/root/repo/src/engine/report.cc" "src/engine/CMakeFiles/pap_engine.dir/report.cc.o" "gcc" "src/engine/CMakeFiles/pap_engine.dir/report.cc.o.d"
+  "/root/repo/src/engine/trace.cc" "src/engine/CMakeFiles/pap_engine.dir/trace.cc.o" "gcc" "src/engine/CMakeFiles/pap_engine.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfa/CMakeFiles/pap_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_engine.dir/compiled_nfa.cc.o"
+  "CMakeFiles/pap_engine.dir/compiled_nfa.cc.o.d"
+  "CMakeFiles/pap_engine.dir/determinize.cc.o"
+  "CMakeFiles/pap_engine.dir/determinize.cc.o.d"
+  "CMakeFiles/pap_engine.dir/functional_engine.cc.o"
+  "CMakeFiles/pap_engine.dir/functional_engine.cc.o.d"
+  "CMakeFiles/pap_engine.dir/reference_engine.cc.o"
+  "CMakeFiles/pap_engine.dir/reference_engine.cc.o.d"
+  "CMakeFiles/pap_engine.dir/report.cc.o"
+  "CMakeFiles/pap_engine.dir/report.cc.o.d"
+  "CMakeFiles/pap_engine.dir/trace.cc.o"
+  "CMakeFiles/pap_engine.dir/trace.cc.o.d"
+  "libpap_engine.a"
+  "libpap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfa/analysis.cc" "src/nfa/CMakeFiles/pap_nfa.dir/analysis.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/analysis.cc.o.d"
+  "/root/repo/src/nfa/anml.cc" "src/nfa/CMakeFiles/pap_nfa.dir/anml.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/anml.cc.o.d"
+  "/root/repo/src/nfa/builders.cc" "src/nfa/CMakeFiles/pap_nfa.dir/builders.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/builders.cc.o.d"
+  "/root/repo/src/nfa/classical.cc" "src/nfa/CMakeFiles/pap_nfa.dir/classical.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/classical.cc.o.d"
+  "/root/repo/src/nfa/glushkov.cc" "src/nfa/CMakeFiles/pap_nfa.dir/glushkov.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/glushkov.cc.o.d"
+  "/root/repo/src/nfa/nfa.cc" "src/nfa/CMakeFiles/pap_nfa.dir/nfa.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/nfa.cc.o.d"
+  "/root/repo/src/nfa/nfa_io.cc" "src/nfa/CMakeFiles/pap_nfa.dir/nfa_io.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/nfa_io.cc.o.d"
+  "/root/repo/src/nfa/prefix_merge.cc" "src/nfa/CMakeFiles/pap_nfa.dir/prefix_merge.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/prefix_merge.cc.o.d"
+  "/root/repo/src/nfa/regex.cc" "src/nfa/CMakeFiles/pap_nfa.dir/regex.cc.o" "gcc" "src/nfa/CMakeFiles/pap_nfa.dir/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

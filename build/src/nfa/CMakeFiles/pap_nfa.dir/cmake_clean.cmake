@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_nfa.dir/analysis.cc.o"
+  "CMakeFiles/pap_nfa.dir/analysis.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/anml.cc.o"
+  "CMakeFiles/pap_nfa.dir/anml.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/builders.cc.o"
+  "CMakeFiles/pap_nfa.dir/builders.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/classical.cc.o"
+  "CMakeFiles/pap_nfa.dir/classical.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/glushkov.cc.o"
+  "CMakeFiles/pap_nfa.dir/glushkov.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/nfa.cc.o"
+  "CMakeFiles/pap_nfa.dir/nfa.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/nfa_io.cc.o"
+  "CMakeFiles/pap_nfa.dir/nfa_io.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/prefix_merge.cc.o"
+  "CMakeFiles/pap_nfa.dir/prefix_merge.cc.o.d"
+  "CMakeFiles/pap_nfa.dir/regex.cc.o"
+  "CMakeFiles/pap_nfa.dir/regex.cc.o.d"
+  "libpap_nfa.a"
+  "libpap_nfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pap/composer.cc" "src/pap/CMakeFiles/pap_pap.dir/composer.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/composer.cc.o.d"
+  "/root/repo/src/pap/flow_plan.cc" "src/pap/CMakeFiles/pap_pap.dir/flow_plan.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/flow_plan.cc.o.d"
+  "/root/repo/src/pap/multistream.cc" "src/pap/CMakeFiles/pap_pap.dir/multistream.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/multistream.cc.o.d"
+  "/root/repo/src/pap/partitioner.cc" "src/pap/CMakeFiles/pap_pap.dir/partitioner.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/partitioner.cc.o.d"
+  "/root/repo/src/pap/runner.cc" "src/pap/CMakeFiles/pap_pap.dir/runner.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/runner.cc.o.d"
+  "/root/repo/src/pap/segment_sim.cc" "src/pap/CMakeFiles/pap_pap.dir/segment_sim.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/segment_sim.cc.o.d"
+  "/root/repo/src/pap/speculative.cc" "src/pap/CMakeFiles/pap_pap.dir/speculative.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/speculative.cc.o.d"
+  "/root/repo/src/pap/timeline.cc" "src/pap/CMakeFiles/pap_pap.dir/timeline.cc.o" "gcc" "src/pap/CMakeFiles/pap_pap.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ap/CMakeFiles/pap_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfa/CMakeFiles/pap_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

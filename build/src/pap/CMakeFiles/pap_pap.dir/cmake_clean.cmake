@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_pap.dir/composer.cc.o"
+  "CMakeFiles/pap_pap.dir/composer.cc.o.d"
+  "CMakeFiles/pap_pap.dir/flow_plan.cc.o"
+  "CMakeFiles/pap_pap.dir/flow_plan.cc.o.d"
+  "CMakeFiles/pap_pap.dir/multistream.cc.o"
+  "CMakeFiles/pap_pap.dir/multistream.cc.o.d"
+  "CMakeFiles/pap_pap.dir/partitioner.cc.o"
+  "CMakeFiles/pap_pap.dir/partitioner.cc.o.d"
+  "CMakeFiles/pap_pap.dir/runner.cc.o"
+  "CMakeFiles/pap_pap.dir/runner.cc.o.d"
+  "CMakeFiles/pap_pap.dir/segment_sim.cc.o"
+  "CMakeFiles/pap_pap.dir/segment_sim.cc.o.d"
+  "CMakeFiles/pap_pap.dir/speculative.cc.o"
+  "CMakeFiles/pap_pap.dir/speculative.cc.o.d"
+  "CMakeFiles/pap_pap.dir/timeline.cc.o"
+  "CMakeFiles/pap_pap.dir/timeline.cc.o.d"
+  "libpap_pap.a"
+  "libpap_pap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_pap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pap_workloads.dir/benchmarks.cc.o"
+  "CMakeFiles/pap_workloads.dir/benchmarks.cc.o.d"
+  "CMakeFiles/pap_workloads.dir/domain_gen.cc.o"
+  "CMakeFiles/pap_workloads.dir/domain_gen.cc.o.d"
+  "CMakeFiles/pap_workloads.dir/ruleset_gen.cc.o"
+  "CMakeFiles/pap_workloads.dir/ruleset_gen.cc.o.d"
+  "CMakeFiles/pap_workloads.dir/trace_gen.cc.o"
+  "CMakeFiles/pap_workloads.dir/trace_gen.cc.o.d"
+  "libpap_workloads.a"
+  "libpap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

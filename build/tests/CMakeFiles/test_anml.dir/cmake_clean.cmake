@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anml.dir/test_anml.cc.o"
+  "CMakeFiles/test_anml.dir/test_anml.cc.o.d"
+  "test_anml"
+  "test_anml.pdb"
+  "test_anml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ap_model.dir/test_ap_model.cc.o"
+  "CMakeFiles/test_ap_model.dir/test_ap_model.cc.o.d"
+  "test_ap_model"
+  "test_ap_model.pdb"
+  "test_ap_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ap_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinize.dir/test_determinize.cc.o"
+  "CMakeFiles/test_determinize.dir/test_determinize.cc.o.d"
+  "test_determinize"
+  "test_determinize.pdb"
+  "test_determinize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

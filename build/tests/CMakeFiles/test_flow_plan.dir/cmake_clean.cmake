@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_plan.dir/test_flow_plan.cc.o"
+  "CMakeFiles/test_flow_plan.dir/test_flow_plan.cc.o.d"
+  "test_flow_plan"
+  "test_flow_plan.pdb"
+  "test_flow_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glushkov.dir/test_glushkov.cc.o"
+  "CMakeFiles/test_glushkov.dir/test_glushkov.cc.o.d"
+  "test_glushkov"
+  "test_glushkov.pdb"
+  "test_glushkov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glushkov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

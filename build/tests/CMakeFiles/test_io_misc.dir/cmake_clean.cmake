@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_misc.dir/test_io_misc.cc.o"
+  "CMakeFiles/test_io_misc.dir/test_io_misc.cc.o.d"
+  "test_io_misc"
+  "test_io_misc.pdb"
+  "test_io_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multistream_energy.dir/test_multistream_energy.cc.o"
+  "CMakeFiles/test_multistream_energy.dir/test_multistream_energy.cc.o.d"
+  "test_multistream_energy"
+  "test_multistream_energy.pdb"
+  "test_multistream_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multistream_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfa_core.dir/test_nfa_core.cc.o"
+  "CMakeFiles/test_nfa_core.dir/test_nfa_core.cc.o.d"
+  "test_nfa_core"
+  "test_nfa_core.pdb"
+  "test_nfa_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

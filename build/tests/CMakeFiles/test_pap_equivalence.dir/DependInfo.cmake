@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pap_equivalence.cc" "tests/CMakeFiles/test_pap_equivalence.dir/test_pap_equivalence.cc.o" "gcc" "tests/CMakeFiles/test_pap_equivalence.dir/test_pap_equivalence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pap/CMakeFiles/pap_pap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/pap_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfa/CMakeFiles/pap_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

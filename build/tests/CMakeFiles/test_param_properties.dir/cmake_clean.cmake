@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_properties.dir/test_param_properties.cc.o"
+  "CMakeFiles/test_param_properties.dir/test_param_properties.cc.o.d"
+  "test_param_properties"
+  "test_param_properties.pdb"
+  "test_param_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

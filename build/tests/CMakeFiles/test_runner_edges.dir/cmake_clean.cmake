@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_edges.dir/test_runner_edges.cc.o"
+  "CMakeFiles/test_runner_edges.dir/test_runner_edges.cc.o.d"
+  "test_runner_edges"
+  "test_runner_edges.pdb"
+  "test_runner_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment_sim.dir/test_segment_sim.cc.o"
+  "CMakeFiles/test_segment_sim.dir/test_segment_sim.cc.o.d"
+  "test_segment_sim"
+  "test_segment_sim.pdb"
+  "test_segment_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

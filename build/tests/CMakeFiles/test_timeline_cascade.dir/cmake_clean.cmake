@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeline_cascade.dir/test_timeline_cascade.cc.o"
+  "CMakeFiles/test_timeline_cascade.dir/test_timeline_cascade.cc.o.d"
+  "test_timeline_cascade"
+  "test_timeline_cascade.pdb"
+  "test_timeline_cascade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeline_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papsim.dir/papsim_cli.cc.o"
+  "CMakeFiles/papsim.dir/papsim_cli.cc.o.d"
+  "papsim"
+  "papsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for papsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for papsim.
+# This may be replaced when dependencies are built.
