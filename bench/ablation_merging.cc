@@ -51,6 +51,7 @@ const Variant kVariants[] = {
 int
 main()
 {
+    bench::ObsSession obs_session("ablation_merging");
     bench::printHeader(
         "Ablation: flow-reduction optimizations disabled in turn",
         "Section 3.3 (design ablation)");

@@ -5,6 +5,10 @@
  * for the paper's 1 MB / 10 MB streams so the whole suite runs in
  * minutes on one core; set PAP_FULL_TRACES=1 for the full sizes or
  * PAP_QUICK=1 for a fast smoke pass.
+ *
+ * Every harness also honours the observability environment variables:
+ * PAP_METRICS_JSON=<path> dumps the metrics registry as JSON on exit,
+ * PAP_TRACE_OUT=<path> records a Chrome trace_event file of the run.
  */
 
 #ifndef PAP_BENCH_BENCH_COMMON_H
@@ -13,7 +17,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace pap {
 namespace bench {
@@ -51,6 +59,52 @@ traceSizeLabel()
                   static_cast<unsigned long long>(largeTraceLen() >> 10));
     return buf;
 }
+
+/**
+ * Env-driven observability for one bench process. Instantiate first
+ * thing in main(); the destructor dumps PAP_METRICS_JSON /
+ * PAP_TRACE_OUT so every harness emits comparable JSON without
+ * per-bench plumbing.
+ */
+class ObsSession
+{
+  public:
+    explicit ObsSession(const char *bench_name) : name_(bench_name)
+    {
+        if (const char *p = std::getenv("PAP_METRICS_JSON"))
+            metrics_path_ = p;
+        if (const char *p = std::getenv("PAP_TRACE_OUT")) {
+            trace_path_ = p;
+            sink_ = std::make_unique<obs::TraceSink>();
+            sink_->labelProcess(obs::kHostPid, name_);
+            obs::setTracer(sink_.get());
+        }
+    }
+
+    ~ObsSession()
+    {
+        if (sink_) {
+            obs::setTracer(nullptr);
+            sink_->writeFile(trace_path_);
+            std::fprintf(stderr, "trace -> %s\n", trace_path_.c_str());
+        }
+        if (!metrics_path_.empty()) {
+            obs::metrics().setGauge("bench.completed", 1.0);
+            obs::metrics().writeJsonFile(metrics_path_);
+            std::fprintf(stderr, "metrics -> %s\n",
+                         metrics_path_.c_str());
+        }
+    }
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+  private:
+    std::string name_;
+    std::string metrics_path_;
+    std::string trace_path_;
+    std::unique_ptr<obs::TraceSink> sink_;
+};
 
 /** Print a standard harness header. */
 inline void

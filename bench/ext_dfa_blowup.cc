@@ -41,6 +41,7 @@ addRow(Table &table, const std::string &label, const Nfa &nfa)
 int
 main()
 {
+    bench::ObsSession obs_session("ext_dfa_blowup");
     bench::printHeader("Extension: NFA-to-DFA state blowup",
                        "Section 2.1 (DFA-conversion argument)");
 

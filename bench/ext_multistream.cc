@@ -21,6 +21,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("ext_multistream");
     bench::printHeader(
         "Extension: multi-user stream multiplexing via flows",
         "Section 3.2 (flow abstraction)");

@@ -22,6 +22,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("ext_speculation");
     bench::printHeader(
         "Extension: speculative vs enumerative parallelization",
         "Section 6 (future-work direction)");

@@ -20,6 +20,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("fig10_switch_overhead");
     bench::printHeader("Figure 10: Flow switching overhead (%)",
                        "Figure 10");
 

@@ -20,6 +20,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("fig11_false_path_cost");
     bench::printHeader(
         "Figure 11: False path invalidation time (AP symbol cycles)",
         "Figure 11");

@@ -21,6 +21,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("fig12_report_inflation");
     bench::printHeader(
         "Figure 12: Increase in output report events (false paths)",
         "Figure 12");

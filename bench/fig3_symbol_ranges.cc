@@ -18,6 +18,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("fig3_symbol_ranges");
     bench::printHeader("Figure 3: Range of symbols per benchmark",
                        "Figure 3");
 

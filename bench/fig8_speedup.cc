@@ -75,6 +75,7 @@ runSize(const char *label, std::uint64_t base_len)
 int
 main()
 {
+    bench::ObsSession obs_session("fig8_speedup");
     bench::printHeader("Figure 8: PAP speedup over sequential AP",
                        "Figure 8");
     runSize("1MB-class", bench::smallTraceLen());

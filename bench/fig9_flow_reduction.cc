@@ -21,6 +21,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("fig9_flow_reduction");
     bench::printHeader("Figure 9: Average number of flows", "Figure 9");
 
     Table table({"Benchmark", "FlowsInRange", "AfterCC", "AfterParent",

@@ -21,6 +21,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("sens_context_switch");
     bench::printHeader(
         "Section 5.3: context-switch cost sensitivity (2x / 4x)",
         "Section 5.3");

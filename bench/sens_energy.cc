@@ -26,6 +26,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("sens_energy");
     bench::printHeader(
         "Section 5.3: transition overhead and energy model",
         "Section 5.3 (energy)");

@@ -22,6 +22,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("sens_quantum");
     bench::printHeader("Ablation: TDM quantum (k) sensitivity",
                        "Section 3.2 (flow quantum, design choice)");
 

@@ -21,6 +21,7 @@ using namespace pap;
 int
 main()
 {
+    bench::ObsSession obs_session("table1_characteristics");
     bench::printHeader("Table 1: Benchmark Characteristics", "Table 1");
 
     Table table({"#", "Benchmark", "States", "(paper)", "Range",

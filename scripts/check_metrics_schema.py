@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a papsim --metrics-json dump against the checked-in schema.
+
+Usage: check_metrics_schema.py <metrics.json> [schema.json]
+
+Implements the small subset of JSON Schema the schema file actually
+uses (type, required, properties, additionalProperties, const,
+minimum, enum) with only the Python standard library, so the check
+runs anywhere the repo builds. Exits 0 on success, 1 with a list of
+violations otherwise.
+"""
+
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON booleans are not numbers.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    """Append a message to *errors* for every violation under *path*."""
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected constant {schema['const']!r}, "
+                      f"got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+        return
+
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__} ({value!r})")
+        return
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value!r} below minimum "
+                      f"{schema['minimum']!r}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in props:
+                validate(item, props[name], f"{path}.{name}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{name}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {name!r}")
+
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    metrics_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "metrics_schema.json")
+
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+    try:
+        with open(metrics_path, encoding="utf-8") as f:
+            metrics = json.load(f)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: {metrics_path} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = []
+    validate(metrics, schema, "$", errors)
+    if errors:
+        print(f"FAIL: {metrics_path} violates {schema_path}:",
+              file=sys.stderr)
+        for msg in errors:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+
+    n_counters = len(metrics.get("counters", {}))
+    n_gauges = len(metrics.get("gauges", {}))
+    n_hists = len(metrics.get("histograms", {}))
+    print(f"OK: {metrics_path} matches schema "
+          f"({n_counters} counters, {n_gauges} gauges, "
+          f"{n_hists} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,11 +2,39 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace pap {
 
 namespace {
-LogLevel gLogLevel = LogLevel::Warn;
+
+/**
+ * Initial level from the PAPSIM_LOG environment variable
+ * (silent/warn/info/debug, or 0-3); Warn when unset or unrecognized.
+ */
+LogLevel
+levelFromEnvironment()
+{
+    const char *env = std::getenv("PAPSIM_LOG");
+    if (!env || !*env)
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "silent") || !std::strcmp(env, "0"))
+        return LogLevel::Silent;
+    if (!std::strcmp(env, "warn") || !std::strcmp(env, "1"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "info") || !std::strcmp(env, "2"))
+        return LogLevel::Info;
+    if (!std::strcmp(env, "debug") || !std::strcmp(env, "3"))
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "warn: unrecognized PAPSIM_LOG value '%s' "
+                 "(want silent|warn|info|debug); using warn\n",
+                 env);
+    return LogLevel::Warn;
+}
+
+LogLevel gLogLevel = levelFromEnvironment();
+
 } // namespace
 
 LogLevel

@@ -19,7 +19,11 @@ namespace pap {
 /** Verbosity levels for runtime log filtering. */
 enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
 
-/** Global log level; defaults to Warn so library output stays quiet. */
+/**
+ * Global log level. Initialized from the PAPSIM_LOG environment
+ * variable (silent/warn/info/debug, or 0-3); defaults to Warn so
+ * library output stays quiet. setLogLevel overrides the environment.
+ */
 LogLevel logLevel();
 
 /** Adjust the global log level (e.g., examples raise it to Info). */

@@ -50,12 +50,21 @@ percentile(std::vector<double> xs, double pct)
 {
     if (xs.empty())
         return 0.0;
+    pct = std::clamp(pct, 0.0, 100.0);
     std::sort(xs.begin(), xs.end());
     const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(rank);
     const std::size_t hi = std::min(lo + 1, xs.size() - 1);
     const double frac = rank - static_cast<double>(lo);
     return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void
+mergeCounters(std::map<std::string, std::uint64_t> &into,
+              const std::map<std::string, std::uint64_t> &from)
+{
+    for (const auto &[name, value] : from)
+        into[name] += value;
 }
 
 } // namespace stats
@@ -82,8 +91,7 @@ CounterSet::get(const std::string &name) const
 void
 CounterSet::merge(const CounterSet &other)
 {
-    for (const auto &[name, value] : other.counters)
-        counters[name] += value;
+    stats::mergeCounters(counters, other.counters);
 }
 
 std::string

@@ -28,8 +28,19 @@ double minOf(const std::vector<double> &xs);
 /** Maximum; 0 for an empty sample. */
 double maxOf(const std::vector<double> &xs);
 
-/** Linear-interpolated percentile in [0, 100]; 0 for an empty sample. */
+/**
+ * Linear-interpolated percentile; 0 for an empty sample. @p pct is
+ * clamped to [0, 100], so out-of-range requests return the min/max
+ * instead of indexing off the sample.
+ */
 double percentile(std::vector<double> xs, double pct);
+
+/**
+ * Sum every counter of @p from into @p into. The single merge path
+ * shared by CounterSet::merge and obs::MetricsRegistry.
+ */
+void mergeCounters(std::map<std::string, std::uint64_t> &into,
+                   const std::map<std::string, std::uint64_t> &from);
 
 } // namespace stats
 

@@ -1,0 +1,347 @@
+#include "obs/trace_sink.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pap {
+namespace obs {
+
+namespace detail {
+std::atomic<TraceSink *> gTracer{nullptr};
+} // namespace detail
+
+void
+setTracer(TraceSink *sink)
+{
+    detail::gTracer.store(sink, std::memory_order_relaxed);
+}
+
+namespace {
+
+/** Sequential track ids, assigned once per thread on first use. */
+std::int64_t
+threadTrackId()
+{
+    static std::atomic<std::int64_t> next{0};
+    thread_local std::int64_t id = next.fetch_add(1);
+    return id;
+}
+
+} // namespace
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+double
+TraceSink::nowUs() const
+{
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+std::int64_t
+TraceSink::callerTid() const
+{
+    return threadTrackId();
+}
+
+void
+TraceSink::begin(const char *name, const char *cat)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'B';
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = callerTid();
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_[e.tid].push_back(events_.size());
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::endLocked(TraceEvent event)
+{
+    auto &stack = open_[event.tid];
+    if (stack.empty()) {
+        // An end() without a begin() is an instrumentation bug, but
+        // never worth crashing a run over.
+        warn("trace span end without matching begin on track ",
+             event.tid);
+        return;
+    }
+    const TraceEvent &opener = events_[stack.back()];
+    event.name = opener.name;
+    event.cat = opener.cat;
+    stack.pop_back();
+    events_.push_back(std::move(event));
+}
+
+void
+TraceSink::end()
+{
+    TraceEvent e;
+    e.ph = 'E';
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = callerTid();
+    std::lock_guard<std::mutex> lock(mutex_);
+    endLocked(std::move(e));
+}
+
+void
+TraceSink::end(TraceArgs args)
+{
+    TraceEvent e;
+    e.ph = 'E';
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = callerTid();
+    for (const auto &[k, v] : args)
+        e.args.emplace_back(k, v);
+    std::lock_guard<std::mutex> lock(mutex_);
+    endLocked(std::move(e));
+}
+
+void
+TraceSink::instant(const char *name, const char *cat, TraceArgs args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = callerTid();
+    for (const auto &[k, v] : args)
+        e.args.emplace_back(k, v);
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::counterEvent(const char *name, double value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = "pap";
+    e.ph = 'C';
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = callerTid();
+    e.args.emplace_back("value", value);
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::complete(const char *name, const char *cat, double ts_us,
+                    double dur_us, std::int64_t pid, std::int64_t tid,
+                    TraceArgs args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.ts = ts_us;
+    e.dur = dur_us;
+    e.pid = pid;
+    e.tid = tid;
+    for (const auto &[k, v] : args)
+        e.args.emplace_back(k, v);
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::labelProcess(std::int64_t pid, const std::string &name)
+{
+    TraceEvent e;
+    e.name = "process_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+    // Metadata carries its payload as a string arg; stash the label in
+    // cat and special-case it during serialization.
+    events_.back().cat = name;
+}
+
+void
+TraceSink::labelThread(std::int64_t pid, std::int64_t tid,
+                       const std::string &name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+    events_.back().cat = name;
+}
+
+std::vector<TraceEvent>
+TraceSink::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::size_t
+TraceSink::openSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t open = 0;
+    for (const auto &[tid, stack] : open_)
+        open += stack.size();
+    return open;
+}
+
+std::vector<TraceSink::PhaseStat>
+TraceSink::phaseSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Replay each track's B/E pairing to accumulate span durations.
+    std::map<std::string, PhaseStat> agg;
+    std::unordered_map<std::int64_t, std::vector<const TraceEvent *>>
+        stacks;
+    for (const TraceEvent &e : events_) {
+        if (e.ph == 'B') {
+            stacks[e.tid].push_back(&e);
+        } else if (e.ph == 'E') {
+            auto &stack = stacks[e.tid];
+            if (stack.empty())
+                continue;
+            const TraceEvent *b = stack.back();
+            stack.pop_back();
+            PhaseStat &s = agg[b->name];
+            s.name = b->name;
+            ++s.count;
+            s.totalUs += e.ts - b->ts;
+        } else if (e.ph == 'X') {
+            PhaseStat &s = agg[e.name];
+            s.name = e.name;
+            ++s.count;
+            s.totalUs += e.dur;
+        }
+    }
+    std::vector<PhaseStat> out;
+    out.reserve(agg.size());
+    for (auto &[name, s] : agg)
+        out.push_back(std::move(s));
+    std::sort(out.begin(), out.end(),
+              [](const PhaseStat &a, const PhaseStat &b) {
+                  return a.totalUs > b.totalUs;
+              });
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendNumber(std::ostringstream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+    } else {
+        os.precision(12);
+        os << v;
+    }
+}
+
+} // namespace
+
+std::string
+TraceSink::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "{\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":";
+        appendNumber(os, e.ts);
+        if (e.ph == 'M') {
+            // Metadata: the label was stashed in cat.
+            os << ",\"name\":\"" << jsonEscape(e.name)
+               << "\",\"args\":{\"name\":\"" << jsonEscape(e.cat)
+               << "\"}}";
+            continue;
+        }
+        if (e.ph == 'X') {
+            os << ",\"dur\":";
+            appendNumber(os, e.dur);
+        }
+        if (!e.name.empty())
+            os << ",\"name\":\"" << jsonEscape(e.name) << "\"";
+        if (!e.cat.empty())
+            os << ",\"cat\":\"" << jsonEscape(e.cat) << "\"";
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\"";
+        if (!e.args.empty()) {
+            os << ",\"args\":{";
+            bool afirst = true;
+            for (const auto &[k, v] : e.args) {
+                os << (afirst ? "" : ",") << "\"" << jsonEscape(k)
+                   << "\":";
+                appendNumber(os, v);
+                afirst = false;
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+void
+TraceSink::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        PAP_FATAL("cannot open trace output '", path, "'");
+    os << toJson();
+    if (!os.good())
+        PAP_FATAL("failed writing trace to '", path, "'");
+}
+
+} // namespace obs
+} // namespace pap

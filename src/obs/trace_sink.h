@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Chrome trace_event JSON emission (the "JSON Array Format" that
+ * chrome://tracing and Perfetto load directly). A TraceSink buffers
+ * events in memory; scoped spans come from the PAP_TRACE_SCOPE RAII
+ * macro. Tracing is off unless a sink is installed with setTracer();
+ * when off, a span costs one relaxed atomic load and allocates
+ * nothing. Host-side spans are stamped with wall-clock microseconds;
+ * simulated-time spans (the AP cycle timeline) can be emitted with
+ * explicit timestamps via complete().
+ */
+
+#ifndef PAP_OBS_TRACE_SINK_H
+#define PAP_OBS_TRACE_SINK_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pap {
+namespace obs {
+
+/** One trace_event record. */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    /** 'B' begin, 'E' end, 'X' complete, 'i' instant, 'C' counter,
+     *  'M' metadata. */
+    char ph = 'i';
+    /** Microseconds (wall-clock for host spans, scaled cycles for the
+     *  simulated timeline). */
+    double ts = 0.0;
+    /** Duration in microseconds ('X' events only). */
+    double dur = 0.0;
+    std::int64_t pid = 1;
+    std::int64_t tid = 0;
+    /** Numeric args rendered into the event's "args" object. */
+    std::vector<std::pair<std::string, double>> args;
+};
+
+/** Key/value arg list for span/instant emission. */
+using TraceArgs =
+    std::initializer_list<std::pair<const char *, double>>;
+
+/** The host (wall-clock) process id in emitted traces. */
+constexpr std::int64_t kHostPid = 1;
+/** The simulated AP-timeline process id in emitted traces. */
+constexpr std::int64_t kSimPid = 2;
+
+class TraceSink
+{
+  public:
+    TraceSink();
+
+    /** Open a span on the calling thread's track. */
+    void begin(const char *name, const char *cat = "pap");
+
+    /** Close the innermost open span on the calling thread's track. */
+    void end();
+
+    /** Close the innermost open span, attaching @p args to it. */
+    void end(TraceArgs args);
+
+    /** A zero-duration marker on the calling thread's track. */
+    void instant(const char *name, const char *cat = "pap",
+                 TraceArgs args = {});
+
+    /** A counter-track sample. */
+    void counterEvent(const char *name, double value);
+
+    /**
+     * A complete ('X') event with explicit coordinates; used for
+     * simulated-time spans, where @p ts_us / @p dur_us are scaled
+     * cycles rather than wall-clock.
+     */
+    void complete(const char *name, const char *cat, double ts_us,
+                  double dur_us, std::int64_t pid, std::int64_t tid,
+                  TraceArgs args = {});
+
+    /** Name a process or thread track in trace viewers. */
+    void labelProcess(std::int64_t pid, const std::string &name);
+    void labelThread(std::int64_t pid, std::int64_t tid,
+                     const std::string &name);
+
+    /** Buffered events, in emission order. */
+    std::vector<TraceEvent> events() const;
+
+    /** Spans still open (nonzero means unbalanced B/E on some track). */
+    std::size_t openSpans() const;
+
+    /** Aggregate closed spans: name -> (count, total microseconds). */
+    struct PhaseStat
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double totalUs = 0.0;
+    };
+    std::vector<PhaseStat> phaseSummary() const;
+
+    /** Serialize as a Chrome trace JSON array. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; PAP_FATAL on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    double nowUs() const;
+    std::int64_t callerTid() const;
+    void endLocked(TraceEvent event);
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    /** Per-track stack of indices into events_ of open 'B' events. */
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> open_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+namespace detail {
+extern std::atomic<TraceSink *> gTracer;
+} // namespace detail
+
+/** The installed sink, or nullptr when tracing is disabled. */
+inline TraceSink *
+tracer()
+{
+    return detail::gTracer.load(std::memory_order_relaxed);
+}
+
+/** Install (or, with nullptr, remove) the process-wide sink. */
+void setTracer(TraceSink *sink);
+
+/**
+ * RAII span: opens on construction if a tracer is installed, and
+ * closes on destruction against the *same* sink (a sink installed
+ * mid-scope is ignored, so B/E stay balanced).
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name, const char *cat = "pap")
+        : sink_(tracer())
+    {
+        if (sink_)
+            sink_->begin(name, cat);
+    }
+
+    ~TraceScope()
+    {
+        if (sink_)
+            sink_->end();
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    TraceSink *const sink_;
+};
+
+#define PAP_TRACE_CONCAT2(a, b) a##b
+#define PAP_TRACE_CONCAT(a, b) PAP_TRACE_CONCAT2(a, b)
+
+/** Open a traced span covering the rest of the enclosing block. */
+#define PAP_TRACE_SCOPE(...) \
+    ::pap::obs::TraceScope PAP_TRACE_CONCAT(pap_trace_scope_, \
+                                            __COUNTER__)(__VA_ARGS__)
+
+} // namespace obs
+} // namespace pap
+
+#endif // PAP_OBS_TRACE_SINK_H

@@ -5,12 +5,15 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace pap {
 
 SegmentTruth
 composeGolden(const SegmentRun &run)
 {
+    PAP_TRACE_SCOPE("compose.golden");
     PAP_ASSERT(run.flows.size() == 1 &&
                    run.flows.front().kind == FlowKind::Golden,
                "composeGolden expects exactly one golden flow");
@@ -43,6 +46,7 @@ composeEnum(const CompiledNfa &cnfa, const Components &comps,
             const FlowPlan &plan, const SegmentRun &run,
             const std::vector<StateId> &prev_true)
 {
+    PAP_TRACE_SCOPE("compose.enumerate");
     SegmentTruth truth;
 
     // Membership mask for T. AllInput starts never appear in engine
@@ -180,6 +184,11 @@ composeEnum(const CompiledNfa &cnfa, const Components &comps,
         if (rec.kind == FlowKind::Enum &&
             rec.cause == DeathCause::RanToEnd)
             ++truth.aliveEnumFlowsAtEnd;
+
+    auto &m = obs::metrics();
+    m.add("compose.entries.total", truth.totalEntries);
+    m.add("compose.entries.false", truth.falseEntries);
+    m.add("compose.reports.true", truth.trueReports.size());
     return truth;
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "engine/functional_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "pap/runner.h"
 
 namespace pap {
@@ -12,6 +14,7 @@ MultiStreamResult
 runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
                const ApConfig &config, const PapOptions &options)
 {
+    PAP_TRACE_SCOPE("multistream.run");
     PAP_ASSERT(nfa.finalized(), "runMultiStream on unfinalized NFA");
     PAP_ASSERT(!streams.empty(), "no streams given");
     if (streams.size() > config.svcEntriesPerDevice)
@@ -93,6 +96,15 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
                       " diverged from its standalone execution");
         }
     }
+
+    auto &m = obs::metrics();
+    m.add("multistream.runs");
+    m.add("multistream.streams", streams.size());
+    m.add("multistream.switch_cycles", result.switchCycles);
+    m.setGauge("multistream.overhead_ratio", result.overheadRatio);
+    for (const Cycles done : result.streamDone)
+        m.observe("multistream.stream_done_cycles",
+                  static_cast<double>(done));
     return result;
 }
 

@@ -4,6 +4,8 @@
 #include <array>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace pap {
 
@@ -12,6 +14,7 @@ choosePartitionSymbol(const RangeAnalysis &ranges,
                       const InputTrace &input, std::uint32_t segments)
 {
     PAP_ASSERT(segments >= 1, "need at least one segment");
+    PAP_TRACE_SCOPE("partition.profile");
 
     // Profile symbol frequencies on a bounded prefix sample.
     const std::size_t sample =
@@ -44,6 +47,7 @@ choosePartitionSymbol(const RangeAnalysis &ranges,
         best.symbol = static_cast<Symbol>(it - freq.begin());
         best.rangeSize = ranges.rangeSize(best.symbol);
         best.frequency = *it;
+        obs::metrics().add("partition.fallback_symbol");
         warn("no frequent small-range symbol found; partitioning on "
              "the most frequent symbol instead");
     }
@@ -55,6 +59,7 @@ partitionInput(const InputTrace &input, Symbol boundary_symbol,
                std::uint32_t segments)
 {
     PAP_ASSERT(segments >= 1, "need at least one segment");
+    PAP_TRACE_SCOPE("partition.cut");
     const std::uint64_t len = input.size();
     if (len < segments)
         segments = std::max<std::uint32_t>(
@@ -88,7 +93,8 @@ partitionInput(const InputTrace &input, Symbol boundary_symbol,
                 break;
             }
         }
-        (void)snapped;
+        obs::metrics().add(snapped ? "partition.cuts.snapped"
+                                   : "partition.cuts.unsnapped");
         if (cut <= begin || cut >= len)
             continue; // degenerate; merge into neighbour
         out.push_back(Segment{begin, cut});

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "engine/functional_engine.h"
 #include "nfa/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "pap/composer.h"
 #include "pap/flow_plan.h"
 #include "pap/partitioner.h"
@@ -18,6 +20,7 @@ SequentialResult
 runSequential(const Nfa &nfa, const InputTrace &input,
               const PapOptions &options)
 {
+    PAP_TRACE_SCOPE("pap.sequential");
     CompiledNfa cnfa(nfa);
     FunctionalEngine engine(cnfa, /*starts=*/true);
     engine.reset(cnfa.initialActive(), 0);
@@ -48,6 +51,96 @@ describeRun(PapResult &result, const Nfa &nfa,
     result.halfCoresPerCopy = placement.halfCoresPerCopy;
 }
 
+/**
+ * Record the run's headline metrics and per-segment distributions into
+ * the process registry (the same numbers PapResult carries, so tests
+ * and dumped JSON can cross-check them).
+ */
+void
+recordRunMetrics(const PapResult &result)
+{
+    auto &m = obs::metrics();
+    m.add("runner.runs");
+    m.add("runner.segments", result.numSegments);
+    m.add("runner.report_events.sequential", result.seqReportEvents);
+    m.add("runner.report_events.pap", result.papReportEvents);
+    m.add("runner.context_switches", result.contextSwitches);
+    m.add("runner.state_vector_uploads", result.stateVectorUploads);
+    m.add("runner.flow_transitions", result.flowTransitions);
+    if (result.svcOverflow)
+        m.add("runner.svc_overflows");
+    if (result.goldenCapped)
+        m.add("runner.golden_caps");
+    m.setGauge("runner.speedup", result.speedup);
+    m.setGauge("runner.pap_cycles",
+               static_cast<double>(result.papCycles));
+    m.setGauge("runner.baseline_cycles",
+               static_cast<double>(result.baselineCycles));
+    m.setGauge("runner.report_inflation", result.reportInflation);
+    m.setGauge("runner.avg_active_flows", result.avgActiveFlows);
+    m.setGauge("runner.switch_overhead_pct", result.switchOverheadPct);
+    m.setGauge("runner.transition_ratio", result.transitionRatio);
+    m.observe("runner.run.speedup", result.speedup);
+    for (const auto &diag : result.segments) {
+        m.add("runner.flows.planned", diag.flows);
+        m.add("runner.flows.deactivated", diag.deactivated);
+        m.add("runner.flows.converged", diag.converged);
+        m.add("runner.flows.ran_to_end", diag.ranToEnd);
+        m.observe("runner.segment.length",
+                  static_cast<double>(diag.length));
+        m.observe("runner.segment.flows",
+                  static_cast<double>(diag.flows));
+        m.observe("runner.segment.tdone_cycles",
+                  static_cast<double>(diag.tDone));
+        m.observe("runner.segment.tresolve_cycles",
+                  static_cast<double>(diag.tResolve));
+        m.observe("runner.segment.entries",
+                  static_cast<double>(diag.entries));
+    }
+}
+
+/**
+ * Emit the simulated AP timeline as explicit-timestamp spans on a
+ * dedicated trace process: one track per segment, an "execute" span
+ * until t_done and a "resolve" span until t_resolve, in microseconds
+ * at the 7.5 ns AP cycle.
+ */
+void
+traceSimulatedTimeline(const PapResult &result)
+{
+    obs::TraceSink *sink = obs::tracer();
+    if (!sink || result.segments.empty())
+        return;
+    constexpr double kUsPerCycle = 7.5e-3;
+    sink->labelProcess(obs::kSimPid,
+                       "AP simulated timeline (7.5ns cycles)");
+    for (std::size_t j = 0; j < result.segments.size(); ++j) {
+        const auto &d = result.segments[j];
+        sink->labelThread(obs::kSimPid, static_cast<std::int64_t>(j),
+                          "segment " + std::to_string(j));
+        sink->complete("execute", "ap.sim", 0.0,
+                       static_cast<double>(d.tDone) * kUsPerCycle,
+                       obs::kSimPid, static_cast<std::int64_t>(j),
+                       {{"flows", static_cast<double>(d.flows)},
+                        {"length", static_cast<double>(d.length)},
+                        {"deactivated",
+                         static_cast<double>(d.deactivated)},
+                        {"converged", static_cast<double>(d.converged)},
+                        {"ran_to_end",
+                         static_cast<double>(d.ranToEnd)}});
+        sink->complete("resolve", "ap.sim",
+                       static_cast<double>(d.tDone) * kUsPerCycle,
+                       static_cast<double>(d.tResolve - d.tDone) *
+                           kUsPerCycle,
+                       obs::kSimPid, static_cast<std::int64_t>(j),
+                       {{"entries", static_cast<double>(d.entries)},
+                        {"true_paths",
+                         static_cast<double>(d.truePaths)},
+                        {"total_paths",
+                         static_cast<double>(d.totalPaths)}});
+    }
+}
+
 } // namespace
 
 PapResult
@@ -57,9 +150,15 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     PAP_ASSERT(nfa.finalized(), "runPap on unfinalized NFA");
     PAP_ASSERT(!input.empty(), "runPap on empty input");
 
+    PAP_TRACE_SCOPE("pap.run");
+    // One sink pointer for the whole run so phase spans stay balanced
+    // even if a tracer is installed or removed mid-run.
+    obs::TraceSink *sink = obs::tracer();
     PapResult result;
 
     // --- Static analysis & placement -------------------------------
+    if (sink)
+        sink->begin("pap.analyze");
     const CompiledNfa cnfa(nfa);
     const Components comps = connectedComponents(nfa);
     const RangeAnalysis ranges(nfa);
@@ -75,11 +174,17 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         1, std::min<std::uint64_t>(num_segments,
                                    input.size() / min_seg)));
     describeRun(result, nfa, num_segments, placement);
+    if (sink)
+        sink->end();
 
     // --- Sequential baseline (also the verification oracle) --------
+    if (sink)
+        sink->begin("pap.baseline");
     const SequentialResult seq = runSequential(nfa, input, options);
     result.baselineCycles = seq.cycles;
     result.seqReportEvents = seq.reports.size();
+    if (sink)
+        sink->end();
 
     if (num_segments == 1) {
         result.papCycles = seq.cycles;
@@ -87,10 +192,14 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         result.reports = seq.reports;
         result.papReportEvents = seq.reports.size();
         result.verified = true;
+        obs::metrics().add("runner.sequential_fallbacks");
+        recordRunMetrics(result);
         return result;
     }
 
     // --- Partitioning ----------------------------------------------
+    if (sink)
+        sink->begin("pap.partition");
     const PartitionProfile profile =
         choosePartitionSymbol(ranges, input, num_segments);
     result.boundarySymbol = profile.symbol;
@@ -99,8 +208,16 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         partitionInput(input, profile.symbol, num_segments);
     result.numSegments = static_cast<std::uint32_t>(segs.size());
     result.idealSpeedup = result.numSegments;
+    if (sink)
+        sink->end({{"segments", static_cast<double>(segs.size())},
+                   {"boundary_symbol",
+                    static_cast<double>(profile.symbol)},
+                   {"range_size",
+                    static_cast<double>(profile.rangeSize)}});
 
     // --- Per-segment simulation -------------------------------------
+    if (sink)
+        sink->begin("pap.execute");
     EngineScratch scratch(nfa.size());
     std::vector<FlowPlan> plans(segs.size());
     std::vector<SegmentRun> runs;
@@ -152,8 +269,14 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                     : 1.0;
     result.flowTransitions = flow_transitions;
     result.seqTransitions = seq.matches;
+    if (sink)
+        sink->end({{"segments", static_cast<double>(segs.size())},
+                   {"max_flows_per_segment",
+                    static_cast<double>(result.maxFlowsPerSegment)}});
 
     // --- Composition chain ------------------------------------------
+    if (sink)
+        sink->begin("pap.compose");
     std::vector<SegmentTruth> truths;
     truths.reserve(segs.size());
     truths.push_back(composeGolden(runs[0]));
@@ -175,9 +298,14 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             ? static_cast<double>(pap_entries) /
                   static_cast<double>(result.seqReportEvents)
             : (pap_entries ? static_cast<double>(pap_entries) : 1.0);
+    if (sink)
+        sink->end({{"entries", static_cast<double>(pap_entries)},
+                   {"true_reports",
+                    static_cast<double>(result.reports.size())}});
 
     // --- Verification ------------------------------------------------
     if (options.verifyAgainstSequential) {
+        PAP_TRACE_SCOPE("pap.verify");
         if (result.reports != seq.reports)
             PAP_PANIC("composed parallel reports diverge from the "
                       "sequential execution for '",
@@ -188,6 +316,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     }
 
     // --- Timeline -----------------------------------------------------
+    if (sink)
+        sink->begin("pap.timeline");
     std::vector<SegmentTimingInput> timing_in(segs.size());
     for (std::size_t j = 0; j < segs.size(); ++j) {
         timing_in[j].segLen = segs[j].length();
@@ -258,6 +388,17 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             ? tcpu_sum /
                   static_cast<double>(timeline.tcpuCycles.size() - 1)
             : 0.0;
+    for (std::size_t j = 1; j < timeline.tcpuCycles.size(); ++j)
+        obs::metrics().observe(
+            "runner.segment.tcpu_cycles",
+            static_cast<double>(timeline.tcpuCycles[j]));
+    if (sink)
+        sink->end({{"pap_cycles",
+                    static_cast<double>(result.papCycles)},
+                   {"speedup", result.speedup}});
+
+    recordRunMetrics(result);
+    traceSimulatedTimeline(result);
     return result;
 }
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace pap {
 
@@ -13,6 +15,8 @@ runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
                  std::uint64_t seg_begin, std::uint64_t seg_len,
                  EngineScratch &scratch)
 {
+    PAP_TRACE_SCOPE("segment.golden");
+    obs::metrics().add("segment_sim.flows.golden");
     SegmentRun run;
     run.segBegin = seg_begin;
     run.segLen = seg_len;
@@ -51,6 +55,7 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
                std::uint64_t seg_begin, std::uint64_t seg_len,
                const PapOptions &options, EngineScratch &scratch)
 {
+    PAP_TRACE_SCOPE("segment.enumerate");
     SegmentRun run;
     run.segBegin = seg_begin;
     run.segLen = seg_len;
@@ -195,6 +200,29 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
         run.flows.push_back(std::move(lf.record));
     }
     run.asgIndex = asg_live_index;
+
+    auto &m = obs::metrics();
+    m.add("segment_sim.flows.enum", plan.flows.size());
+    if (asg_live_index >= 0)
+        m.add("segment_sim.flows.asg");
+    for (const auto &rec : run.flows) {
+        if (rec.kind != FlowKind::Enum)
+            continue;
+        switch (rec.cause) {
+          case DeathCause::Deactivated:
+            m.add("segment_sim.deactivations");
+            break;
+          case DeathCause::Converged:
+            m.add("segment_sim.convergence_merges");
+            m.observe("segment_sim.merge_symbol",
+                      static_cast<double>(rec.mergeSymbol));
+            break;
+          case DeathCause::RanToEnd:
+            break;
+        }
+        m.observe("segment_sim.flow_symbols",
+                  static_cast<double>(rec.symbolsProcessed));
+    }
     return run;
 }
 

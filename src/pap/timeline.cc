@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 
 namespace pap {
 
@@ -12,6 +14,7 @@ simulateTimeline(const std::vector<SegmentTimingInput> &segments,
                  const PapOptions &options, const ApTiming &timing)
 {
     PAP_ASSERT(!segments.empty(), "timeline needs at least one segment");
+    PAP_TRACE_SCOPE("timeline.simulate");
     const std::uint64_t quantum = options.tdmQuantum;
     const Cycles ctx = options.contextSwitchCycles;
     const auto kNever = static_cast<Cycles>(-1);
@@ -126,6 +129,11 @@ simulateTimeline(const std::vector<SegmentTimingInput> &segments,
             ? static_cast<double>(alive_weighted) /
                   static_cast<double>(rounds_total)
             : 0.0;
+
+    auto &m = obs::metrics();
+    m.add("timeline.rounds", rounds_total);
+    m.add("timeline.switch_cycles", result.switchCycles);
+    m.add("timeline.busy_cycles", result.busyCycles);
     return result;
 }
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Observability smoke test: run the CLI with --metrics-json /
+# --trace-out / --profile, validate the metrics dump against the
+# checked-in schema, and sanity-check the Chrome trace. Registered
+# with CTest (label: obs); $1 is the papsim binary, $2 the repo root.
+set -euo pipefail
+
+PAPSIM="$1"
+REPO_ROOT="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+cat > rules.txt <<'RULES'
+abra
+cad(ab)+ra
+RULES
+
+"$PAPSIM" compile rules.txt m.nfa >/dev/null
+"$PAPSIM" gentrace m.nfa t.bin 32768 --pm=0.6 --seed=7 >/dev/null
+
+OUT="$("$PAPSIM" run m.nfa t.bin --ranks=2 \
+    --metrics-json metrics.json --trace-out trace.json --profile)"
+echo "$OUT" | grep -q "(verified)"
+echo "$OUT" | grep -q "metrics -> metrics.json"
+echo "$OUT" | grep -q "trace   -> trace.json"
+echo "$OUT" | grep -q "Phase"
+
+# The metrics dump matches the schema and holds the headline metrics.
+python3 "$REPO_ROOT/scripts/check_metrics_schema.py" metrics.json
+python3 - <<'PY'
+import json
+m = json.load(open("metrics.json"))
+assert m["counters"]["runner.runs"] == 1, m["counters"]
+assert m["counters"]["runner.segments"] >= 1
+assert "runner.speedup" in m["gauges"], sorted(m["gauges"])
+assert m["histograms"]["runner.segment.length"]["count"] >= 1
+PY
+
+# The trace is valid JSON with balanced, phase-named host spans and
+# simulated-timeline slices.
+python3 - <<'PY'
+import json
+events = json.load(open("trace.json"))
+assert isinstance(events, list) and events, "empty trace"
+begins = [e for e in events if e["ph"] == "B"]
+ends = [e for e in events if e["ph"] == "E"]
+assert len(begins) == len(ends), (len(begins), len(ends))
+names = {e["name"] for e in begins}
+for phase in ("pap.run", "pap.partition", "pap.execute",
+              "pap.compose"):
+    assert phase in names, f"missing span {phase}: {sorted(names)}"
+sim = [e for e in events if e["ph"] == "X" and e["pid"] == 2]
+assert any(e["name"] == "execute" for e in sim), "no simulated spans"
+for e in events:
+    assert e["ts"] >= 0 and "pid" in e and "tid" in e
+PY
+
+# Without the flags, no artifacts appear.
+"$PAPSIM" run m.nfa t.bin --ranks=2 >/dev/null
+test ! -f extra.json
+
+echo "obs smoke ok"

@@ -12,6 +12,7 @@
 #include "ap/ap_config.h"
 #include "common/rng.h"
 #include "nfa/glushkov.h"
+#include "obs/metrics.h"
 #include "pap/runner.h"
 #include "workload_helpers.h"
 
@@ -82,6 +83,64 @@ TEST(RunnerEdges, SegmentDiagnosticsAreConsistent)
     }
     EXPECT_EQ(covered, input.size());
     EXPECT_EQ(entries, r.papReportEvents);
+}
+
+TEST(RunnerEdges, MetricsRegistryMatchesResultDiagnostics)
+{
+    Rng rng(84);
+    const Nfa nfa = compileRuleset(
+        {{"abc.*de", 1}, {"fgh", 2}, {"aab", 3}}, "m");
+    const InputTrace input =
+        randomTextTrace(rng, 16384, "abcdefgh ");
+    obs::metrics().clear();
+    const PapResult r = runPap(nfa, input, tinyBoard(8));
+
+    obs::MetricsRegistry &m = obs::metrics();
+    EXPECT_EQ(m.counter("runner.runs"), 1u);
+    EXPECT_EQ(m.counter("runner.segments"), r.segments.size());
+    EXPECT_EQ(m.counter("runner.report_events.pap"),
+              r.papReportEvents);
+    EXPECT_EQ(m.counter("runner.report_events.sequential"),
+              r.seqReportEvents);
+    EXPECT_EQ(m.counter("runner.context_switches"),
+              r.contextSwitches);
+
+    // Per-segment histograms sample each segment exactly once, and the
+    // flow counters sum what the diagnostics hold.
+    std::uint64_t flows = 0, deactivated = 0, converged = 0,
+                  ran_to_end = 0, entries = 0;
+    for (const auto &d : r.segments) {
+        flows += d.flows;
+        deactivated += d.deactivated;
+        converged += d.converged;
+        ran_to_end += d.ranToEnd;
+        entries += d.entries;
+    }
+    const obs::HistogramSnapshot seg_flows =
+        m.histogram("runner.segment.flows");
+    EXPECT_EQ(seg_flows.count, r.segments.size());
+    EXPECT_DOUBLE_EQ(seg_flows.sum, static_cast<double>(flows));
+    EXPECT_EQ(m.counter("runner.flows.planned"), flows);
+    EXPECT_EQ(m.counter("runner.flows.deactivated"), deactivated);
+    EXPECT_EQ(m.counter("runner.flows.converged"), converged);
+    EXPECT_EQ(m.counter("runner.flows.ran_to_end"), ran_to_end);
+    const obs::HistogramSnapshot seg_entries =
+        m.histogram("runner.segment.entries");
+    EXPECT_EQ(seg_entries.count, r.segments.size());
+    EXPECT_DOUBLE_EQ(seg_entries.sum, static_cast<double>(entries));
+    EXPECT_EQ(m.histogram("runner.segment.length").count,
+              r.segments.size());
+    EXPECT_EQ(m.histogram("runner.segment.tdone_cycles").count,
+              r.segments.size());
+    EXPECT_EQ(m.histogram("runner.segment.tresolve_cycles").count,
+              r.segments.size());
+
+    EXPECT_DOUBLE_EQ(m.gauge("runner.speedup"), r.speedup);
+    EXPECT_DOUBLE_EQ(m.gauge("runner.pap_cycles"),
+                     static_cast<double>(r.papCycles));
+    EXPECT_DOUBLE_EQ(m.gauge("runner.baseline_cycles"),
+                     static_cast<double>(r.baselineCycles));
+    obs::metrics().clear();
 }
 
 TEST(RunnerEdges, BoundaryProfileReported)

@@ -14,8 +14,12 @@
  *       Generate a p_m-model input trace for an automaton.
  *   run      <in.nfa> <trace.bin> [--ranks=N] [--sequential]
  *              [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]
+ *              [--metrics-json=PATH] [--trace-out=PATH] [--profile]
  *       Execute a trace sequentially, with the Parallel Automata
- *       Processor framework (default), or speculatively.
+ *       Processor framework (default), or speculatively. The
+ *       observability flags dump the metrics registry as JSON, write
+ *       a Chrome trace_event file (chrome://tracing / Perfetto), and
+ *       print a per-phase wall-time profile.
  *   convert  <in> <out>
  *       Convert between the papsim text format (.nfa) and ANML
  *       (.anml); all commands accept either by extension.
@@ -27,13 +31,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ap/ap_config.h"
 #include "ap/placement.h"
 #include "common/logging.h"
+#include "common/table.h"
 #include "nfa/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
 #include "nfa/anml.h"
 #include "nfa/glushkov.h"
 #include "nfa/nfa_io.h"
@@ -59,7 +67,8 @@ usage()
         "           [--alphabet=CHARS]\n"
         "  run      <in.nfa> <trace.bin> [--ranks=N] [--sequential]\n"
         "           [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]\n"
-        "           [--verbose]\n"
+        "           [--verbose] [--metrics-json=PATH]\n"
+        "           [--trace-out=PATH] [--profile]\n"
         "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
         "  bench    <name>\n");
     return 2;
@@ -104,6 +113,26 @@ flagValue(const std::vector<std::string> &args, const std::string &name,
         }
         if (a.rfind(prefix, 0) == 0) {
             *out = a.substr(prefix.size());
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Like flagValue, but also accepts the two-token "--name value" form. */
+bool
+pathFlag(const std::vector<std::string> &args, const std::string &name,
+         std::string *out)
+{
+    const std::string prefix = name + "=";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i].rfind(prefix, 0) == 0) {
+            *out = args[i].substr(prefix.size());
+            return true;
+        }
+        if (args[i] == name && i + 1 < args.size() &&
+            args[i + 1].rfind("--", 0) != 0) {
+            *out = args[i + 1];
             return true;
         }
     }
@@ -218,6 +247,59 @@ cmdGenTrace(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * Observability session for one `run` invocation: installs a trace
+ * sink when --trace-out/--profile ask for one, and dumps the metrics
+ * JSON, trace file, and per-phase profile on destruction.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(std::string metrics_path, std::string trace_path,
+               bool profile)
+        : metrics_path_(std::move(metrics_path)),
+          trace_path_(std::move(trace_path)), profile_(profile)
+    {
+        if (!trace_path_.empty() || profile_) {
+            sink_ = std::make_unique<obs::TraceSink>();
+            sink_->labelProcess(obs::kHostPid, "papsim host");
+            obs::setTracer(sink_.get());
+        }
+    }
+
+    ~ObsSession()
+    {
+        if (sink_)
+            obs::setTracer(nullptr);
+        if (!metrics_path_.empty()) {
+            obs::metrics().writeJsonFile(metrics_path_);
+            std::printf("metrics -> %s\n", metrics_path_.c_str());
+        }
+        if (sink_ && !trace_path_.empty()) {
+            sink_->writeFile(trace_path_);
+            std::printf("trace   -> %s (load in chrome://tracing or "
+                        "ui.perfetto.dev)\n",
+                        trace_path_.c_str());
+        }
+        if (sink_ && profile_) {
+            Table table({"Phase", "Count", "Total ms", "Mean us"});
+            for (const auto &s : sink_->phaseSummary())
+                table.addRow({s.name, std::to_string(s.count),
+                              fmtDouble(s.totalUs / 1000.0, 3),
+                              fmtDouble(s.totalUs /
+                                            static_cast<double>(s.count),
+                                        1)});
+            std::printf("\n%s", table.toString().c_str());
+        }
+    }
+
+  private:
+    std::unique_ptr<obs::TraceSink> sink_;
+    std::string metrics_path_;
+    std::string trace_path_;
+    bool profile_;
+};
+
 int
 cmdRun(const std::vector<std::string> &args)
 {
@@ -227,6 +309,12 @@ cmdRun(const std::vector<std::string> &args)
     const InputTrace trace = InputTrace::fromFile(args[1]);
 
     std::string v;
+    std::string metrics_path, trace_path;
+    pathFlag(args, "--metrics-json", &metrics_path);
+    pathFlag(args, "--trace-out", &trace_path);
+    const bool profile = flagValue(args, "--profile", &v);
+    ObsSession obs_session(metrics_path, trace_path, profile);
+
     const std::uint32_t ranks =
         flagValue(args, "--ranks", &v)
             ? static_cast<std::uint32_t>(std::atoi(v.c_str()))
@@ -342,7 +430,7 @@ cmdBench(const std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
-    setLogLevel(LogLevel::Warn);
+    // Log level comes from PAPSIM_LOG (default Warn); see logging.h.
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
