@@ -1,19 +1,35 @@
 #include "ap/report_buffer.h"
 
+#include <algorithm>
+
 namespace pap {
 
-void
+std::uint64_t
 ReportBuffer::push(FlowId flow, const std::vector<ReportEvent> &events)
 {
-    buffer.reserve(buffer.size() + events.size());
-    for (const auto &e : events)
-        buffer.push_back(FlowReport{e, flow});
+    std::uint64_t accepted = events.size();
+    if (maxEntries != 0) {
+        const std::uint64_t room = maxEntries - std::min<std::uint64_t>(
+            maxEntries, buffer.size());
+        accepted = std::min<std::uint64_t>(accepted, room);
+    }
+    buffer.reserve(buffer.size() + accepted);
+    for (std::uint64_t i = 0; i < accepted; ++i)
+        buffer.push_back(FlowReport{events[i], flow});
+    const std::uint64_t over = events.size() - accepted;
+    dropped += over;
+    return over;
 }
 
-void
+std::uint64_t
 ReportBuffer::push(FlowId flow, const ReportEvent &event)
 {
+    if (full()) {
+        ++dropped;
+        return 1;
+    }
     buffer.push_back(FlowReport{event, flow});
+    return 0;
 }
 
 std::uint64_t

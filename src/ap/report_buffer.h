@@ -4,6 +4,11 @@
  * code plus the byte offset of the triggering symbol, and each entry
  * carries the flow identifier of the execution context that produced
  * it (Sections 2.1 and 3.2). The host drains and filters the buffer.
+ *
+ * The physical buffer is finite (output regions x report elements per
+ * D480 device), so the model is bounded too: pushes beyond the
+ * configured capacity are dropped and accounted, mirroring the
+ * overflow behavior a saturated device exhibits between host drains.
  */
 
 #ifndef PAP_AP_REPORT_BUFFER_H
@@ -28,22 +33,54 @@ struct FlowReport
 class ReportBuffer
 {
   public:
-    /** Append events produced by @p flow. */
-    void push(FlowId flow, const std::vector<ReportEvent> &events);
+    /**
+     * @param capacity maximum retained entries; 0 means unbounded
+     * (a host that drains faster than the AP reports).
+     */
+    explicit ReportBuffer(std::uint64_t capacity = 0)
+        : maxEntries(capacity)
+    {}
 
-    /** Append a single event. */
-    void push(FlowId flow, const ReportEvent &event);
+    /**
+     * Append events produced by @p flow; events beyond capacity are
+     * dropped and counted. Returns how many were dropped.
+     */
+    std::uint64_t push(FlowId flow,
+                       const std::vector<ReportEvent> &events);
 
-    /** All entries in arrival order. */
+    /** Append a single event. Returns 1 if it was dropped, else 0. */
+    std::uint64_t push(FlowId flow, const ReportEvent &event);
+
+    /** Retained entries in arrival order. */
     const std::vector<FlowReport> &entries() const { return buffer; }
 
-    /** Total entries ever pushed. */
-    std::uint64_t totalEvents() const { return buffer.size(); }
+    /** Total entries ever pushed (retained + dropped). */
+    std::uint64_t totalEvents() const
+    {
+        return buffer.size() + dropped;
+    }
 
-    /** Entries produced by one flow. */
+    /** Entries dropped on overflow. */
+    std::uint64_t droppedEvents() const { return dropped; }
+
+    /** Configured capacity; 0 means unbounded. */
+    std::uint64_t capacity() const { return maxEntries; }
+
+    /** True when a bounded buffer cannot accept another entry. */
+    bool full() const
+    {
+        return maxEntries != 0 && buffer.size() >= maxEntries;
+    }
+
+    /** Retained entries produced by one flow. */
     std::uint64_t eventsFromFlow(FlowId flow) const;
 
+    /** Drain: clear retained entries (keeps the drop count). */
+    void clear() { buffer.clear(); }
+
   private:
+    std::uint64_t maxEntries;
+    std::uint64_t dropped = 0;
     std::vector<FlowReport> buffer;
 };
 

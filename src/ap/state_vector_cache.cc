@@ -18,23 +18,33 @@ StateVectorCache::entryOf(FlowId flow) const
     return it->second;
 }
 
-void
+Status
 StateVectorCache::save(FlowId flow, std::vector<StateId> vector)
 {
     const bool existed = entries.contains(flow);
-    if (!existed && entries.size() >= maxEntries)
-        PAP_FATAL("State Vector Cache overflow: ", entries.size(),
-                  " resident flows at capacity ", maxEntries,
-                  "; flow merging must reduce the flow count first");
+    if (!existed && entries.size() >= maxEntries) {
+        stats.add("svc.save_rejects");
+        return Status::error(
+            ErrorCode::CapacityExceeded, "State Vector Cache overflow: ",
+            entries.size(), " resident flows at capacity ", maxEntries,
+            "; evict a flow or execute in batches");
+    }
     entries[flow] = std::move(vector);
     stats.add("svc.saves");
+    return Status();
 }
 
-const std::vector<StateId> &
+Result<const std::vector<StateId> *>
 StateVectorCache::load(FlowId flow)
 {
     stats.add("svc.loads");
-    return entryOf(flow);
+    const auto it = entries.find(flow);
+    if (it == entries.end()) {
+        stats.add("svc.load_misses");
+        return Status::error(ErrorCode::InvalidInput, "flow ", flow,
+                             " has no resident state vector");
+    }
+    return &it->second;
 }
 
 void

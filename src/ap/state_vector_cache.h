@@ -6,16 +6,21 @@
  * checks (Section 3.3.3) and a zero-mask test used for deactivation
  * checks (Section 3.3.4); both are modeled here along with the access
  * counters the timing model consumes.
+ *
+ * Capacity exhaustion and non-resident accesses are recoverable
+ * conditions (the flow scheduler reacts by batching or re-uploading),
+ * so save/load report them through pap::Status/Result instead of
+ * aborting.
  */
 
 #ifndef PAP_AP_STATE_VECTOR_CACHE_H
 #define PAP_AP_STATE_VECTOR_CACHE_H
 
 #include <cstdint>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -28,11 +33,20 @@ class StateVectorCache
     /** @param capacity maximum resident flow contexts (512 on D480). */
     explicit StateVectorCache(std::uint32_t capacity);
 
-    /** Save a flow's state vector (the sorted active-state set). */
-    void save(FlowId flow, std::vector<StateId> vector);
+    /**
+     * Save a flow's state vector (the sorted active-state set).
+     * Fails with CapacityExceeded when the cache is full and @p flow
+     * is not already resident; the caller must evict or batch.
+     */
+    Status save(FlowId flow, std::vector<StateId> vector);
 
-    /** Load a flow's state vector; the flow must be resident. */
-    const std::vector<StateId> &load(FlowId flow);
+    /**
+     * Load a flow's state vector. Fails with InvalidInput when the
+     * flow is not resident (deactivated, invalidated, or evicted).
+     * The pointer stays valid until the entry is saved over or
+     * invalidated.
+     */
+    Result<const std::vector<StateId> *> load(FlowId flow);
 
     /** Drop a flow's entry (deactivation or invalidation). */
     void invalidate(FlowId flow);
@@ -50,11 +64,12 @@ class StateVectorCache
 
     /**
      * Comparator: true if two resident flows hold bitwise-equal state
-     * vectors (the convergence condition).
+     * vectors (the convergence condition). Both flows must be
+     * resident; the TDM scheduler only compares live flows.
      */
     bool equal(FlowId a, FlowId b);
 
-    /** Zero-mask test: true if the flow's vector is all-zero. */
+    /** Zero-mask test: true if the resident flow's vector is all-zero. */
     bool isZero(FlowId flow);
 
     /** Access counters: saves, loads, compares, zeroChecks, invalidates. */

@@ -1,0 +1,31 @@
+#include "common/error.h"
+
+namespace pap {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "Ok";
+      case ErrorCode::InvalidInput: return "InvalidInput";
+      case ErrorCode::CapacityExceeded: return "CapacityExceeded";
+      case ErrorCode::VerificationFailed: return "VerificationFailed";
+      case ErrorCode::HardwareFault: return "HardwareFault";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "Ok";
+    std::string s = errorCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+} // namespace pap

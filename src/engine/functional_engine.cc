@@ -38,6 +38,20 @@ FunctionalEngine::reset(const std::vector<StateId> &initial_active,
 }
 
 void
+FunctionalEngine::overwriteActive(const std::vector<StateId> &vector)
+{
+    active.clear();
+    scratch->bump();
+    for (const StateId q : vector) {
+        PAP_ASSERT(q < cnfa.size(), "state ", q, " out of range");
+        if (startsEnabled && cnfa.isAllInputStart(q))
+            continue;
+        if (scratch->claim(q))
+            active.push_back(q);
+    }
+}
+
+void
 FunctionalEngine::step(Symbol s)
 {
     scratch->bump();

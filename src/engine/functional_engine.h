@@ -92,6 +92,14 @@ class FunctionalEngine
     void reset(const std::vector<StateId> &initial_active,
                std::uint64_t offset_base = 0);
 
+    /**
+     * Replace the active set without touching the cursor, counters,
+     * or accumulated reports — the state-vector overwrite a context
+     * switch performs when reloading (or mis-reloading) an SVC entry.
+     * Applies the same AllInput-start filtering as reset().
+     */
+    void overwriteActive(const std::vector<StateId> &vector);
+
     /** Consume one symbol. */
     void step(Symbol s);
 

@@ -1,0 +1,203 @@
+#include "pap/fault_injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace pap {
+
+namespace {
+
+const char *const kKindNames[kFaultKindCount] = {
+    "corrupt-sv", "evict-svc", "drop-report", "truncate-report",
+    "drop-fiv",
+};
+
+/** Metric suffix: spec name with '-' mapped to '_'. */
+std::string
+metricSuffix(FaultKind kind)
+{
+    std::string s = kKindNames[static_cast<std::size_t>(kind)];
+    std::replace(s.begin(), s.end(), '-', '_');
+    return s;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng(seed) {}
+
+void
+FaultInjector::arm(FaultKind kind, std::uint32_t count, double rate)
+{
+    auto &b = budgets[static_cast<std::size_t>(kind)];
+    b.remaining = count;
+    b.rate = rate;
+}
+
+Result<FaultInjector>
+FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
+{
+    if (spec.empty())
+        return Status::error(ErrorCode::InvalidInput,
+                             "empty fault spec");
+    FaultInjector injector(seed);
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string entry = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (entry.empty())
+            return Status::error(ErrorCode::InvalidInput,
+                                 "empty entry in fault spec '", spec,
+                                 "'");
+
+        const std::size_t c1 = entry.find(':');
+        const std::string kind_name = entry.substr(0, c1);
+        std::uint32_t count = 1;
+        double rate = 1.0;
+        if (c1 != std::string::npos) {
+            const std::size_t c2 = entry.find(':', c1 + 1);
+            const std::string count_str =
+                entry.substr(c1 + 1, c2 == std::string::npos
+                                         ? std::string::npos
+                                         : c2 - c1 - 1);
+            char *end = nullptr;
+            count = static_cast<std::uint32_t>(
+                std::strtoul(count_str.c_str(), &end, 0));
+            if (count_str.empty() || *end != '\0' || count == 0)
+                return Status::error(ErrorCode::InvalidInput,
+                                     "bad fault count '", count_str,
+                                     "' in '", entry, "'");
+            if (c2 != std::string::npos) {
+                const std::string rate_str = entry.substr(c2 + 1);
+                rate = std::strtod(rate_str.c_str(), &end);
+                if (rate_str.empty() || *end != '\0' || rate <= 0.0 ||
+                    rate > 1.0)
+                    return Status::error(ErrorCode::InvalidInput,
+                                         "bad fault rate '", rate_str,
+                                         "' in '", entry,
+                                         "' (want 0 < rate <= 1)");
+            }
+        }
+
+        bool matched = false;
+        for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+            if (kind_name == kKindNames[k] || kind_name == "all") {
+                injector.arm(static_cast<FaultKind>(k), count, rate);
+                matched = true;
+            }
+        }
+        if (!matched)
+            return Status::error(
+                ErrorCode::InvalidInput, "unknown fault kind '",
+                kind_name,
+                "' (want corrupt-sv, evict-svc, drop-report, "
+                "truncate-report, drop-fiv, or all)");
+    }
+    return injector;
+}
+
+bool
+FaultInjector::tryFire(FaultKind kind)
+{
+    auto &b = budgets[static_cast<std::size_t>(kind)];
+    if (b.remaining == 0)
+        return false;
+    if (!rng.nextBool(b.rate))
+        return false;
+    --b.remaining;
+    ++injectedByKind[static_cast<std::size_t>(kind)];
+    ++totalInjected;
+    auto &m = obs::metrics();
+    m.add("faults.injected");
+    m.add("faults.injected." + metricSuffix(kind));
+    return true;
+}
+
+FaultInjector::SvAction
+FaultInjector::onContextSwitch(FlowId)
+{
+    if (tryFire(FaultKind::CorruptStateVector))
+        return SvAction::Corrupt;
+    if (tryFire(FaultKind::EvictSvcEntry))
+        return SvAction::Evict;
+    return SvAction::None;
+}
+
+void
+FaultInjector::corruptVector(std::vector<StateId> &vector,
+                             StateId num_states)
+{
+    if (num_states == 0)
+        return;
+    const StateId victim =
+        static_cast<StateId>(rng.nextBelow(num_states));
+    const auto it =
+        std::lower_bound(vector.begin(), vector.end(), victim);
+    if (it != vector.end() && *it == victim)
+        vector.erase(it); // stuck-at-0: drop an active state
+    else
+        vector.insert(it, victim); // stuck-at-1: raise a spurious one
+}
+
+std::uint64_t
+FaultInjector::onReportDrain(std::vector<ReportEvent> &reports)
+{
+    std::uint64_t removed = 0;
+    if (!reports.empty() && tryFire(FaultKind::DropReport)) {
+        const std::size_t idx = rng.nextBelow(reports.size());
+        reports.erase(reports.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+        ++removed;
+    }
+    if (!reports.empty() && tryFire(FaultKind::TruncateReport)) {
+        const std::size_t keep = rng.nextBelow(reports.size());
+        removed += reports.size() - keep;
+        reports.resize(keep);
+    }
+    return removed;
+}
+
+bool
+FaultInjector::onFivDownload()
+{
+    return tryFire(FaultKind::DropFiv);
+}
+
+void
+FaultInjector::markDetected(std::uint64_t count)
+{
+    totalDetected += count;
+    obs::metrics().add("faults.detected", count);
+}
+
+void
+FaultInjector::markRecovered(std::uint64_t count)
+{
+    totalRecovered += count;
+    obs::metrics().add("faults.recovered", count);
+}
+
+std::string
+FaultInjector::summary() const
+{
+    std::string s = "faults: injected=" + std::to_string(totalInjected);
+    s += " detected=" + std::to_string(totalDetected);
+    s += " recovered=" + std::to_string(totalRecovered);
+    for (std::size_t k = 0; k < kFaultKindCount; ++k)
+        if (injectedByKind[k])
+            s += std::string(" ") + kKindNames[k] + "=" +
+                 std::to_string(injectedByKind[k]);
+    return s;
+}
+
+} // namespace pap

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for hardened-execution
+ * testing. The injector models the hardware failure modes the PAP
+ * composition scheme (Section 3.4) must survive:
+ *
+ *  - corrupt-sv       flip one state in a flow's state vector at a
+ *                     context switch (SVC bit error);
+ *  - evict-svc        lose a flow's SVC entry under pressure (the
+ *                     context comes back all-zero);
+ *  - drop-report      lose one output-buffer entry before the host
+ *                     drains it;
+ *  - truncate-report  lose the tail of a flow's output buffer;
+ *  - drop-fiv         lose the Flow Invalidation Vector / truth
+ *                     download between two segments, so the next
+ *                     segment composes against an empty true set.
+ *
+ * Every fault is drawn from one seeded RNG in simulation order, so a
+ * given (spec, seed) pair injects the exact same faults on every run.
+ * The verification oracle (the golden sequential execution) detects
+ * the resulting divergence and the runner repairs it by falling back
+ * to the oracle result; the injected/detected/recovered counters let
+ * tests assert that full loop closes for every fault kind.
+ */
+
+#ifndef PAP_PAP_FAULT_INJECTOR_H
+#define PAP_PAP_FAULT_INJECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "engine/report.h"
+
+namespace pap {
+
+/** The failure modes the harness can inject. */
+enum class FaultKind : std::uint8_t
+{
+    CorruptStateVector = 0,
+    EvictSvcEntry,
+    DropReport,
+    TruncateReport,
+    DropFiv,
+};
+
+inline constexpr std::size_t kFaultKindCount = 5;
+
+/** Spec-grammar name of a fault kind ("corrupt-sv", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Deterministic fault-injection harness for one simulation. */
+class FaultInjector
+{
+  public:
+    /** An injector with no faults armed. @p seed drives every draw. */
+    explicit FaultInjector(std::uint64_t seed);
+
+    /**
+     * Parse a fault spec and build an armed injector.
+     *
+     * Grammar:  spec  := entry ("," entry)*
+     *           entry := kind [":" count [":" rate]]
+     *           kind  := corrupt-sv | evict-svc | drop-report
+     *                  | truncate-report | drop-fiv | all
+     *
+     * @p count is the injection budget for the kind (default 1);
+     * @p rate is the per-opportunity firing probability in (0, 1]
+     * (default 1, i.e. fire at the first opportunities). "all" arms
+     * every kind with the given count/rate.
+     */
+    static Result<FaultInjector> fromSpec(const std::string &spec,
+                                          std::uint64_t seed);
+
+    /** Arm @p kind with an injection budget and firing rate. */
+    void arm(FaultKind kind, std::uint32_t count = 1, double rate = 1.0);
+
+    // --- Injection hooks (called from the simulation hot path) ------
+
+    /** State-vector fault to apply to a flow at a context switch. */
+    enum class SvAction : std::uint8_t { None, Corrupt, Evict };
+
+    /** Consult the injector at a context switch of @p flow. */
+    SvAction onContextSwitch(FlowId flow);
+
+    /**
+     * Corrupt @p vector in place: toggle one seeded-random state below
+     * @p num_states (a single-bit SVC error), keeping it sorted.
+     */
+    void corruptVector(std::vector<StateId> &vector, StateId num_states);
+
+    /**
+     * Possibly drop one entry and/or truncate the tail of a finished
+     * flow's report list. Returns the number of events removed.
+     */
+    std::uint64_t onReportDrain(std::vector<ReportEvent> &reports);
+
+    /** True when the FIV/truth download between segments is dropped. */
+    bool onFivDownload();
+
+    // --- Bookkeeping -------------------------------------------------
+
+    /** Total faults injected so far. */
+    std::uint64_t injected() const { return totalInjected; }
+
+    /** Faults of one kind injected so far. */
+    std::uint64_t injected(FaultKind kind) const
+    {
+        return injectedByKind[static_cast<std::size_t>(kind)];
+    }
+
+    /** Remaining budget of one kind. */
+    std::uint32_t remaining(FaultKind kind) const
+    {
+        return budgets[static_cast<std::size_t>(kind)].remaining;
+    }
+
+    /** Record that @p count injected faults were caught by the oracle. */
+    void markDetected(std::uint64_t count);
+
+    /** Record that @p count detected faults were repaired. */
+    void markRecovered(std::uint64_t count);
+
+    std::uint64_t detected() const { return totalDetected; }
+    std::uint64_t recovered() const { return totalRecovered; }
+
+    /** One-line census for CLI output. */
+    std::string summary() const;
+
+  private:
+    struct Budget
+    {
+        std::uint32_t remaining = 0;
+        double rate = 1.0;
+    };
+
+    /** Draw for @p kind; consumes budget and records the injection. */
+    bool tryFire(FaultKind kind);
+
+    Rng rng;
+    std::array<Budget, kFaultKindCount> budgets{};
+    std::array<std::uint64_t, kFaultKindCount> injectedByKind{};
+    std::uint64_t totalInjected = 0;
+    std::uint64_t totalDetected = 0;
+    std::uint64_t totalRecovered = 0;
+};
+
+} // namespace pap
+
+#endif // PAP_PAP_FAULT_INJECTOR_H

@@ -117,11 +117,9 @@ buildFlowPlan(const Nfa &nfa, const Components &comps,
     } else {
         flow_count = static_cast<std::uint32_t>(plan.paths.size());
     }
-    if (flow_count > options.maxFlowsPerSegment)
-        PAP_FATAL("'", nfa.name(), "' needs ", flow_count,
-                  " enumeration flows, above the configured limit of ",
-                  options.maxFlowsPerSegment);
-
+    // A flow count above options.maxFlowsPerSegment is not an error
+    // here: the runner applies its overflow policy (fail, batch, or
+    // sequential fallback) once it has seen every segment's plan.
     plan.flows.resize(flow_count);
     if (options.enableCcMerging) {
         for (const auto &group : by_cc)

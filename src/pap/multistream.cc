@@ -17,10 +17,15 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     PAP_TRACE_SCOPE("multistream.run");
     PAP_ASSERT(nfa.finalized(), "runMultiStream on unfinalized NFA");
     PAP_ASSERT(!streams.empty(), "no streams given");
-    if (streams.size() > config.svcEntriesPerDevice)
-        PAP_FATAL("cannot multiplex ", streams.size(),
-                  " streams: the State Vector Cache holds ",
-                  config.svcEntriesPerDevice, " flow contexts");
+    if (streams.size() > config.svcEntriesPerDevice) {
+        MultiStreamResult failed;
+        failed.status = Status::error(
+            ErrorCode::CapacityExceeded, "cannot multiplex ",
+            streams.size(), " streams: the State Vector Cache holds ",
+            config.svcEntriesPerDevice, " flow contexts");
+        obs::metrics().add("multistream.capacity_failures");
+        return failed;
+    }
 
     const CompiledNfa cnfa(nfa);
     EngineScratch scratch(nfa.size());
@@ -83,7 +88,7 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
                       : 1.0;
 
     // Collect reports and verify each stream against its standalone
-    // sequential execution.
+    // sequential execution; a diverged stream is repaired from it.
     result.verified = true;
     for (std::size_t i = 0; i < flows.size(); ++i) {
         result.reports[i] = flows[i].engine.takeReports();
@@ -91,9 +96,13 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
         const SequentialResult solo =
             runSequential(nfa, streams[i], options);
         if (result.reports[i] != solo.reports) {
+            warn("multiplexed stream ", i, " diverged from its "
+                 "standalone execution; recovering the standalone "
+                 "result");
+            obs::metrics().add("multistream.stream_divergence");
+            result.reports[i] = solo.reports;
             result.verified = false;
-            PAP_PANIC("multiplexed stream ", i,
-                      " diverged from its standalone execution");
+            result.recovered = true;
         }
     }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ap/ap_config.h"
+#include "common/error.h"
 #include "engine/report.h"
 #include "engine/trace.h"
 #include "nfa/nfa.h"
@@ -42,13 +43,23 @@ struct MultiStreamResult
     double overheadRatio = 1.0;
     /** True when every stream reproduced its standalone run. */
     bool verified = false;
+    /**
+     * True when at least one stream diverged and was repaired from
+     * its standalone execution (only possible under fault injection).
+     */
+    bool recovered = false;
+    /**
+     * CapacityExceeded when more streams were given than the State
+     * Vector Cache holds contexts (nothing executes in that case).
+     */
+    Status status;
 };
 
 /**
  * Run each stream of @p streams as an independent flow over @p nfa on
  * one simulated half-core, round-robin with the TDM quantum and
- * flow-switch cost of @p options. The flow count must fit the State
- * Vector Cache of @p config.
+ * flow-switch cost of @p options. A stream count beyond the State
+ * Vector Cache of @p config yields a CapacityExceeded status.
  */
 MultiStreamResult runMultiStream(const Nfa &nfa,
                                  const std::vector<InputTrace> &streams,

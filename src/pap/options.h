@@ -15,6 +15,26 @@
 
 namespace pap {
 
+class FaultInjector;
+
+/**
+ * What to do when a segment's flow plan exceeds the State Vector
+ * Cache (512 entries per device on the D480).
+ */
+enum class OverflowPolicy : std::uint8_t
+{
+    /**
+     * Execute the segment's flows in SVC-sized batches, paying a
+     * modeled state-vector re-upload between batches (the default:
+     * slower, never wrong).
+     */
+    Batch,
+    /** Give up on parallelism: return the golden sequential result. */
+    SequentialFallback,
+    /** Fail the run with a CapacityExceeded status. */
+    Fail,
+};
+
 /** Knobs for one PAP run. Every optimization can be ablated. */
 struct PapOptions
 {
@@ -88,10 +108,26 @@ struct PapOptions
     bool verifyAgainstSequential = true;
 
     /**
-     * Hard ceiling on enumeration flows per segment; runs needing
-     * more fail fast (the SVC holds 512 contexts per device).
+     * Hard ceiling on enumeration flows per segment, far above any
+     * realistic SVC pressure. Runs needing more are treated per
+     * @c overflowPolicy: Fail returns CapacityExceeded, everything
+     * else falls back to the golden sequential result (batching a
+     * plan this degenerate would be slower than sequential).
      */
     std::uint32_t maxFlowsPerSegment = 1u << 20;
+
+    /**
+     * Reaction to a segment flow plan that exceeds the State Vector
+     * Cache capacity of the device (Section 3.2).
+     */
+    OverflowPolicy overflowPolicy = OverflowPolicy::Batch;
+
+    /**
+     * Optional deterministic fault-injection harness (not owned).
+     * When set, the runner and segment simulator consult it at
+     * context switches, report drains, and FIV downloads.
+     */
+    FaultInjector *faultInjector = nullptr;
 
     /**
      * Routing-constraint hint: minimum half-cores one FSM copy

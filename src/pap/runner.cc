@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "pap/composer.h"
+#include "pap/fault_injector.h"
 #include "pap/flow_plan.h"
 #include "pap/partitioner.h"
 #include "pap/segment_sim.h"
@@ -69,8 +70,16 @@ recordRunMetrics(const PapResult &result)
     m.add("runner.flow_transitions", result.flowTransitions);
     if (result.svcOverflow)
         m.add("runner.svc_overflows");
+    if (result.svcBatches > 1)
+        m.add("runner.svc_batched_runs");
     if (result.goldenCapped)
         m.add("runner.golden_caps");
+    if (result.degraded)
+        m.add("runner.degraded_runs");
+    if (result.recovered)
+        m.add("runner.recoveries");
+    if (!result.status.ok())
+        m.add("runner.failed_runs");
     m.setGauge("runner.speedup", result.speedup);
     m.setGauge("runner.pap_cycles",
                static_cast<double>(result.papCycles));
@@ -215,54 +224,150 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                    {"range_size",
                     static_cast<double>(profile.rangeSize)}});
 
+    // --- Flow planning ----------------------------------------------
+    // Every segment's plan is built before any segment executes, so
+    // the overflow policy can inspect the whole run's SVC pressure
+    // before cycles are spent.
+    if (sink)
+        sink->begin("pap.plan");
+    std::vector<FlowPlan> plans(segs.size());
+    double sum_in_range = 0, sum_after_cc = 0, sum_after_parent = 0;
+    for (std::size_t j = 1; j < segs.size(); ++j) {
+        const Symbol boundary = input[segs[j].begin - 1];
+        plans[j] = buildFlowPlan(nfa, comps, asg, boundary, options);
+        sum_in_range += plans[j].flowsInRange;
+        sum_after_cc += plans[j].flowsAfterCc;
+        sum_after_parent += plans[j].flowsAfterParent;
+        result.maxFlowsPerSegment = std::max(
+            result.maxFlowsPerSegment,
+            static_cast<std::uint32_t>(plans[j].flows.size()));
+    }
+    const double enum_segments = static_cast<double>(segs.size() - 1);
+    result.flowsInRange = sum_in_range / enum_segments;
+    result.flowsAfterCc = sum_after_cc / enum_segments;
+    result.flowsAfterParent = sum_after_parent / enum_segments;
+    if (sink)
+        sink->end({{"segments", static_cast<double>(segs.size())},
+                   {"max_flows_per_segment",
+                    static_cast<double>(result.maxFlowsPerSegment)}});
+
+    // --- Overflow policy --------------------------------------------
+    // The ASG flow occupies one SVC entry alongside the enumeration
+    // flows, so a segment fits iff flows + asg <= SVC capacity.
+    const std::uint32_t asg_slots = asg.empty() ? 0u : 1u;
+    const std::uint32_t batch_cap = std::max<std::uint32_t>(
+        1, config.svcEntriesPerDevice - std::min(
+               config.svcEntriesPerDevice - 1, asg_slots));
+    result.svcOverflow = result.maxFlowsPerSegment > batch_cap;
+
+    const auto sequential_fallback = [&](const std::string &why) {
+        warn("'", nfa.name(), "' falls back to the golden sequential "
+             "execution: ", why);
+        obs::metrics().add("runner.sequential_fallbacks");
+        result.papCycles = seq.cycles;
+        result.speedup = 1.0;
+        result.reports = seq.reports;
+        result.papReportEvents = seq.reports.size();
+        result.verified = true;
+        result.degraded = true;
+        recordRunMetrics(result);
+        return result;
+    };
+
+    if (result.maxFlowsPerSegment > options.maxFlowsPerSegment) {
+        const std::string why = detail::concat(
+            "needs ", result.maxFlowsPerSegment,
+            " enumeration flows per segment, above the configured "
+            "limit of ", options.maxFlowsPerSegment);
+        if (options.overflowPolicy == OverflowPolicy::Fail) {
+            result.status = Status::error(ErrorCode::CapacityExceeded,
+                                          "'", nfa.name(), "' ", why);
+            recordRunMetrics(result);
+            return result;
+        }
+        // Batching a plan this degenerate would be slower than the
+        // baseline, so Batch degrades to the sequential result too.
+        return sequential_fallback(why);
+    }
+    if (result.svcOverflow &&
+        options.overflowPolicy != OverflowPolicy::Batch) {
+        const std::string why = detail::concat(
+            "needs up to ", result.maxFlowsPerSegment, " + ", asg_slots,
+            " flow contexts per segment, above the ",
+            config.svcEntriesPerDevice,
+            "-entry State Vector Cache");
+        if (options.overflowPolicy == OverflowPolicy::Fail) {
+            result.status = Status::error(ErrorCode::CapacityExceeded,
+                                          "'", nfa.name(), "' ", why);
+            recordRunMetrics(result);
+            return result;
+        }
+        return sequential_fallback(why);
+    }
+
     // --- Per-segment simulation -------------------------------------
     if (sink)
         sink->begin("pap.execute");
     EngineScratch scratch(nfa.size());
-    std::vector<FlowPlan> plans(segs.size());
+    FaultInjector *const injector = options.faultInjector;
     std::vector<SegmentRun> runs;
     runs.reserve(segs.size());
+    std::vector<std::uint32_t> seg_batches(segs.size(), 1);
+    const std::vector<StateId> no_asg;
 
     std::uint64_t flow_transitions = 0;
-    double sum_in_range = 0, sum_after_cc = 0, sum_after_parent = 0;
 
     for (std::size_t j = 0; j < segs.size(); ++j) {
         const Segment &s = segs[j];
         if (j == 0) {
             runs.push_back(runGoldenSegment(cnfa, input.ptr(s.begin),
                                             s.begin, s.length(),
-                                            scratch));
-        } else {
-            const Symbol boundary = input[s.begin - 1];
-            plans[j] = buildFlowPlan(nfa, comps, asg, boundary, options);
-            sum_in_range += plans[j].flowsInRange;
-            sum_after_cc += plans[j].flowsAfterCc;
-            sum_after_parent += plans[j].flowsAfterParent;
+                                            scratch, injector));
+        } else if (plans[j].flows.size() <= batch_cap) {
             runs.push_back(runEnumSegment(cnfa, plans[j], asg,
                                           input.ptr(s.begin), s.begin,
                                           s.length(), options, scratch));
+        } else {
+            // OverflowPolicy::Batch: the plan exceeds the SVC, so run
+            // it in cache-sized batches, back to back. Flow ids stay
+            // global (FlowSpec::id), so the merged run composes
+            // exactly like an unbatched one; the ASG flow runs once,
+            // in batch 0, under the whole plan's ASG id.
+            const FlowPlan &plan = plans[j];
+            const auto asg_id = static_cast<FlowId>(plan.flows.size());
+            SegmentRun merged;
+            merged.segBegin = s.begin;
+            merged.segLen = s.length();
+            std::uint32_t b = 0;
+            for (std::size_t first = 0; first < plan.flows.size();
+                 first += batch_cap, ++b) {
+                const std::size_t last = std::min(
+                    plan.flows.size(),
+                    first + static_cast<std::size_t>(batch_cap));
+                FlowPlan sub;
+                sub.flows.assign(plan.flows.begin() + first,
+                                 plan.flows.begin() + last);
+                SegmentRun part = runEnumSegment(
+                    cnfa, sub, b == 0 ? asg : no_asg,
+                    input.ptr(s.begin), s.begin, s.length(), options,
+                    scratch, asg_id);
+                if (b == 0)
+                    merged.asgIndex = part.asgIndex;
+                for (auto &rec : part.flows) {
+                    rec.batch = b;
+                    merged.flows.push_back(std::move(rec));
+                }
+            }
+            seg_batches[j] = b;
+            result.svcBatches = std::max(result.svcBatches, b);
+            obs::metrics().add("runner.svc_batches", b);
+            runs.push_back(std::move(merged));
         }
         for (const auto &rec : runs.back().flows) {
             flow_transitions += rec.counters.matches;
             result.flowSymbolCycles += rec.counters.symbols;
         }
-        result.maxFlowsPerSegment = std::max(
-            result.maxFlowsPerSegment,
-            static_cast<std::uint32_t>(plans[j].flows.size()));
     }
-    if (result.maxFlowsPerSegment > config.svcEntriesPerDevice) {
-        result.svcOverflow = true;
-        warn("'", nfa.name(), "' needs up to ",
-             result.maxFlowsPerSegment,
-             " flows per segment, above the ",
-             config.svcEntriesPerDevice,
-             "-entry State Vector Cache; flow merging left the "
-             "machine over capacity (modeled without batching)");
-    }
-    const double enum_segments = static_cast<double>(segs.size() - 1);
-    result.flowsInRange = sum_in_range / enum_segments;
-    result.flowsAfterCc = sum_after_cc / enum_segments;
-    result.flowsAfterParent = sum_after_parent / enum_segments;
     result.transitionRatio =
         seq.matches ? static_cast<double>(flow_transitions) /
                           static_cast<double>(seq.matches)
@@ -271,8 +376,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     result.seqTransitions = seq.matches;
     if (sink)
         sink->end({{"segments", static_cast<double>(segs.size())},
-                   {"max_flows_per_segment",
-                    static_cast<double>(result.maxFlowsPerSegment)}});
+                   {"max_batches",
+                    static_cast<double>(result.svcBatches)}});
 
     // --- Composition chain ------------------------------------------
     if (sink)
@@ -280,9 +385,17 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     std::vector<SegmentTruth> truths;
     truths.reserve(segs.size());
     truths.push_back(composeGolden(runs[0]));
-    for (std::size_t j = 1; j < segs.size(); ++j)
-        truths.push_back(composeEnum(cnfa, comps, plans[j], runs[j],
-                                     truths[j - 1].finalActive));
+    const std::vector<StateId> no_truth;
+    for (std::size_t j = 1; j < segs.size(); ++j) {
+        // A dropped inter-segment downlink loses the predecessor's
+        // true final active set; composition then judges this
+        // segment's paths against an empty T (the verification oracle
+        // catches the damage downstream).
+        const bool truth_lost = injector && injector->onFivDownload();
+        truths.push_back(composeEnum(
+            cnfa, comps, plans[j], runs[j],
+            truth_lost ? no_truth : truths[j - 1].finalActive));
+    }
 
     std::uint64_t pap_entries = 0;
     for (std::size_t j = 0; j < truths.size(); ++j) {
@@ -304,15 +417,35 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                     static_cast<double>(result.reports.size())}});
 
     // --- Verification ------------------------------------------------
+    bool diverged = false;
     if (options.verifyAgainstSequential) {
         PAP_TRACE_SCOPE("pap.verify");
-        if (result.reports != seq.reports)
-            PAP_PANIC("composed parallel reports diverge from the "
-                      "sequential execution for '",
-                      nfa.name(), "': ", result.reports.size(),
-                      " composed vs ", seq.reports.size(),
-                      " sequential");
-        result.verified = true;
+        if (result.reports == seq.reports) {
+            result.verified = true;
+        } else {
+            // Divergence is either an injected fault or a PAPsim bug;
+            // either way the sequential oracle repairs the result
+            // (Section 3.4: the golden execution is always available).
+            diverged = true;
+            obs::metrics().add("runner.verification_divergence");
+            warn("composed parallel reports diverge from the "
+                 "sequential execution for '",
+                 nfa.name(), "' (", result.reports.size(),
+                 " composed vs ", seq.reports.size(),
+                 " sequential); recovering the golden result");
+            if (injector) {
+                const std::uint64_t caught =
+                    injector->injected() > injector->detected()
+                        ? injector->injected() - injector->detected()
+                        : 0;
+                injector->markDetected(caught);
+                injector->markRecovered(caught);
+            }
+            result.reports = seq.reports;
+            result.verified = false;
+            result.recovered = true;
+            result.degraded = true;
+        }
     }
 
     // --- Timeline -----------------------------------------------------
@@ -324,10 +457,14 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         timing_in[j].totalEntries = truths[j].totalEntries;
         timing_in[j].aliveEnumFlowsAtEnd = truths[j].aliveEnumFlowsAtEnd;
         timing_in[j].hasEnumFlows = j > 0 && !plans[j].flows.empty();
+        timing_in[j].numBatches = seg_batches[j];
+        timing_in[j].batchReloadCycles =
+            config.timing.stateVectorUploadCycles;
         for (const auto &rec : runs[j].flows) {
             FlowTimingInfo info;
             info.kind = rec.kind;
             info.symbolsProcessed = rec.symbolsProcessed;
+            info.batch = rec.batch;
             info.isTrue =
                 rec.kind != FlowKind::Enum ||
                 (rec.id < truths[j].flowTrue.size() &&
@@ -343,6 +480,12 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     result.speedup = timeline.speedup;
     result.goldenCapped = timeline.goldenCapped;
     result.avgActiveFlows = timeline.avgActiveFlows;
+    if (diverged) {
+        // Recovery replays the oracle's answer; the golden-execution
+        // guarantee bounds a repaired run at the baseline cost.
+        result.papCycles = result.baselineCycles;
+        result.speedup = 1.0;
+    }
     result.switchOverheadPct =
         timeline.busyCycles
             ? 100.0 * static_cast<double>(timeline.switchCycles) /

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ap/ap_config.h"
+#include "common/error.h"
 #include "engine/report.h"
 #include "engine/trace.h"
 #include "nfa/nfa.h"
@@ -86,11 +87,31 @@ struct PapResult
     std::uint32_t maxFlowsPerSegment = 0;
     /** True if that peak exceeded the 512-entry State Vector Cache. */
     bool svcOverflow = false;
+    /** Most SVC batches any segment ran in (1 = no batching). */
+    std::uint32_t svcBatches = 1;
 
     /** Composed true reports (equal to the sequential reports). */
     std::vector<ReportEvent> reports;
     /** True when verification against the sequential run passed. */
     bool verified = false;
+    /**
+     * True when the run gave up on parallel composition and returned
+     * the golden sequential result instead (overflow fallback, or
+     * recovery from a detected divergence). Degraded runs report
+     * speedup 1.0 — the golden-execution guarantee of Section 3.4.
+     */
+    bool degraded = false;
+    /**
+     * True when verification caught a divergence and the result was
+     * repaired from the sequential oracle. Implies degraded.
+     */
+    bool recovered = false;
+    /**
+     * Non-Ok only when the run could not produce a result at all
+     * (currently: OverflowPolicy::Fail with an over-capacity plan →
+     * CapacityExceeded). All other fields are defaulted in that case.
+     */
+    Status status;
 
     /** Per-segment diagnostics (input order). */
     struct SegmentDiag
@@ -117,8 +138,13 @@ struct PapResult
 
 /**
  * Run the full Parallel Automata Processor pipeline.
- * Panics if verification is enabled and the composed reports differ
- * from the sequential execution (that is always a PAPsim bug).
+ *
+ * Never panics on data-dependent trouble: a divergence between the
+ * composed and sequential reports (possible only under fault
+ * injection, otherwise a PAPsim bug) is repaired from the sequential
+ * oracle (result.recovered), an over-capacity flow plan is handled
+ * per options.overflowPolicy, and the only non-Ok result.status is
+ * CapacityExceeded under OverflowPolicy::Fail.
  */
 PapResult runPap(const Nfa &nfa, const InputTrace &input,
                  const ApConfig &config, const PapOptions &options = {});

@@ -7,13 +7,14 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "pap/fault_injector.h"
 
 namespace pap {
 
 SegmentRun
 runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
                  std::uint64_t seg_begin, std::uint64_t seg_len,
-                 EngineScratch &scratch)
+                 EngineScratch &scratch, FaultInjector *injector)
 {
     PAP_TRACE_SCOPE("segment.golden");
     obs::metrics().add("segment_sim.flows.golden");
@@ -33,6 +34,8 @@ runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
     rec.finalSnapshot = engine.snapshot();
     rec.counters = engine.counters();
     rec.reports = engine.takeReports();
+    if (injector)
+        injector->onReportDrain(rec.reports);
     run.flows.push_back(std::move(rec));
     return run;
 }
@@ -53,9 +56,11 @@ SegmentRun
 runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
                const std::vector<StateId> &asg_seed, const Symbol *data,
                std::uint64_t seg_begin, std::uint64_t seg_len,
-               const PapOptions &options, EngineScratch &scratch)
+               const PapOptions &options, EngineScratch &scratch,
+               FlowId asg_flow_id)
 {
     PAP_TRACE_SCOPE("segment.enumerate");
+    FaultInjector *injector = options.faultInjector;
     SegmentRun run;
     run.segBegin = seg_begin;
     run.segLen = seg_len;
@@ -71,7 +76,9 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
         lf.engine = std::make_unique<FunctionalEngine>(
             cnfa, /*starts=*/true, &scratch);
         lf.engine->reset(asg_seed, seg_begin);
-        lf.record.id = static_cast<FlowId>(plan.flows.size());
+        lf.record.id = asg_flow_id == kInvalidFlow
+                           ? static_cast<FlowId>(plan.flows.size())
+                           : asg_flow_id;
         lf.record.kind = FlowKind::Asg;
         asg_live_index = 0;
         live.push_back(std::move(lf));
@@ -154,6 +161,31 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
         processed = round_end;
         ++round;
 
+        // Injected SVC faults strike at the context switch, when the
+        // state vector passes through the cache: a corrupt entry
+        // reloads with one state flipped, an evicted entry reloads
+        // all-zero.
+        if (injector) {
+            for (auto &lf : live) {
+                if (!lf.alive)
+                    continue;
+                switch (injector->onContextSwitch(lf.record.id)) {
+                  case FaultInjector::SvAction::Corrupt: {
+                    std::vector<StateId> v = lf.engine->snapshot();
+                    injector->corruptVector(
+                        v, static_cast<StateId>(cnfa.size()));
+                    lf.engine->overwriteActive(v);
+                    break;
+                  }
+                  case FaultInjector::SvAction::Evict:
+                    lf.engine->overwriteActive({});
+                    break;
+                  case FaultInjector::SvAction::None:
+                    break;
+                }
+            }
+        }
+
         // Dynamic convergence checks every N TDM steps.
         if (options.enableConvergenceChecks &&
             round % options.convergenceCheckPeriod == 0 &&
@@ -197,6 +229,8 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
         }
         lf.record.counters = lf.engine->counters();
         lf.record.reports = lf.engine->takeReports();
+        if (injector)
+            injector->onReportDrain(lf.record.reports);
         run.flows.push_back(std::move(lf.record));
     }
     run.asgIndex = asg_live_index;

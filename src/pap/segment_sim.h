@@ -42,6 +42,11 @@ struct FlowRecord
 {
     FlowId id = kInvalidFlow;
     FlowKind kind = FlowKind::Enum;
+    /**
+     * SVC batch the flow executed in (0 unless the segment's plan
+     * overflowed the State Vector Cache and was run in batches).
+     */
+    std::uint32_t batch = 0;
     /** Paths carried by this flow (indices into the FlowPlan). */
     std::vector<std::uint32_t> pathIdx;
     /**
@@ -73,25 +78,35 @@ struct SegmentRun
     int asgIndex = -1;
 };
 
+class FaultInjector;
+
 /**
  * Run the first segment: a single golden flow with full start-state
- * machinery, seeded with the StartOfData states.
+ * machinery, seeded with the StartOfData states. @p injector, when
+ * non-null, may drop or truncate the flow's report buffer.
  */
 SegmentRun runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
                             std::uint64_t seg_begin, std::uint64_t seg_len,
-                            EngineScratch &scratch);
+                            EngineScratch &scratch,
+                            FaultInjector *injector = nullptr);
 
 /**
  * Run a later segment: the ASG flow (if @p asg_seed is non-empty) plus
  * one enumeration flow per FlowSpec of @p plan, multiplexed per
- * @p options.
+ * @p options. Faults from options.faultInjector are applied at
+ * context-switch boundaries and report drains.
+ *
+ * @p asg_flow_id names the ASG flow's SVC entry; pass kInvalidFlow to
+ * use plan.flows.size() (correct when @p plan is a whole plan rather
+ * than one SVC batch of a larger one).
  */
 SegmentRun runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
                           const std::vector<StateId> &asg_seed,
                           const Symbol *data, std::uint64_t seg_begin,
                           std::uint64_t seg_len,
                           const PapOptions &options,
-                          EngineScratch &scratch);
+                          EngineScratch &scratch,
+                          FlowId asg_flow_id = kInvalidFlow);
 
 } // namespace pap
 

@@ -64,6 +64,12 @@ struct SpeculationResult
     /** Composed (and verified) report events. */
     std::vector<ReportEvent> reports;
     bool verified = false;
+    /**
+     * True when the composed reports diverged from the sequential
+     * oracle and were repaired from it (a PAPsim bug, but never a
+     * wrong answer for the caller).
+     */
+    bool recovered = false;
 };
 
 /**

@@ -37,49 +37,67 @@ simulateTimeline(const std::vector<SegmentTimingInput> &segments,
                 ? kNever
                 : prev_truth_avail + timing.fivDownloadCycles;
 
-        // Effective stop point per flow: its own death, possibly
-        // shortened by the FIV for false flows.
-        std::vector<std::uint64_t> stop(seg.flows.size());
-        for (std::size_t f = 0; f < seg.flows.size(); ++f)
-            stop[f] = seg.flows[f].symbolsProcessed;
+        // An SVC-overflowed segment runs its flows in batches, back to
+        // back on the same half-cores, re-streaming the input per
+        // batch and paying a state-vector reload between batches.
+        const std::uint32_t num_batches = std::max(1u, seg.numBatches);
 
         Cycles t = 0;
-        std::uint64_t processed = 0;
-        bool fiv_applied = false;
-        while (processed < seg.segLen) {
-            if (!fiv_applied && fiv_arrive != kNever && t >= fiv_arrive) {
-                // Kill false enumeration flows at this round boundary.
-                for (std::size_t f = 0; f < seg.flows.size(); ++f)
-                    if (seg.flows[f].kind == FlowKind::Enum &&
-                        !seg.flows[f].isTrue)
-                        stop[f] = std::min(stop[f], processed);
-                fiv_applied = true;
+        for (std::uint32_t b = 0; b < num_batches; ++b) {
+            if (b > 0) {
+                t += seg.batchReloadCycles;
+                result.reuploadCycles += seg.batchReloadCycles;
             }
-            const std::uint64_t round_end =
-                std::min(processed + quantum, seg.segLen);
-            std::uint32_t live = 0;
-            Cycles symbol_cycles = 0;
-            for (std::size_t f = 0; f < seg.flows.size(); ++f) {
-                if (stop[f] <= processed)
-                    continue;
-                ++live;
-                symbol_cycles += std::min(stop[f], round_end) - processed;
-            }
-            if (live == 0) {
-                // Only dead flows remain (can happen after an FIV kill
-                // in a segment whose true flows all deactivated); the
-                // half-core idles through the rest of the input.
-                processed = seg.segLen;
+            // Effective stop point per flow: its own death, possibly
+            // shortened by the FIV for false flows. Flows outside this
+            // batch never run here.
+            std::vector<std::uint64_t> stop(seg.flows.size());
+            for (std::size_t f = 0; f < seg.flows.size(); ++f)
+                stop[f] = seg.flows[f].batch == b
+                              ? seg.flows[f].symbolsProcessed
+                              : 0;
+
+            std::uint64_t processed = 0;
+            bool fiv_applied = false;
+            while (processed < seg.segLen) {
+                if (!fiv_applied && fiv_arrive != kNever &&
+                    t >= fiv_arrive) {
+                    // Kill false enumeration flows at this round
+                    // boundary.
+                    for (std::size_t f = 0; f < seg.flows.size(); ++f)
+                        if (seg.flows[f].kind == FlowKind::Enum &&
+                            !seg.flows[f].isTrue)
+                            stop[f] = std::min(stop[f], processed);
+                    fiv_applied = true;
+                }
+                const std::uint64_t round_end =
+                    std::min(processed + quantum, seg.segLen);
+                std::uint32_t live = 0;
+                Cycles symbol_cycles = 0;
+                for (std::size_t f = 0; f < seg.flows.size(); ++f) {
+                    if (stop[f] <= processed)
+                        continue;
+                    ++live;
+                    symbol_cycles +=
+                        std::min(stop[f], round_end) - processed;
+                }
+                if (live == 0) {
+                    // Only dead flows remain (can happen after an FIV
+                    // kill in a segment whose true flows all
+                    // deactivated); the half-core idles through the
+                    // rest of the input.
+                    processed = seg.segLen;
+                    ++rounds_total;
+                    break;
+                }
+                const Cycles switch_cost = (live > 1) ? live * ctx : 0;
+                t += symbol_cycles + switch_cost;
+                result.switchCycles += switch_cost;
+                result.busyCycles += symbol_cycles + switch_cost;
+                alive_weighted += live;
                 ++rounds_total;
-                break;
+                processed = round_end;
             }
-            const Cycles switch_cost = (live > 1) ? live * ctx : 0;
-            t += symbol_cycles + switch_cost;
-            result.switchCycles += switch_cost;
-            result.busyCycles += symbol_cycles + switch_cost;
-            alive_weighted += live;
-            ++rounds_total;
-            processed = round_end;
         }
         result.tDone.push_back(t);
 

@@ -31,6 +31,8 @@ struct FlowTimingInfo
     std::uint64_t symbolsProcessed = 0;
     /** False flows are killed when the FIV arrives. */
     bool isTrue = true;
+    /** SVC batch the flow ran in (0 when the plan fit the cache). */
+    std::uint32_t batch = 0;
 };
 
 /** Timing-relevant facts about one segment. */
@@ -48,6 +50,14 @@ struct SegmentTimingInput
      * and no false-path decode: their reports are final at t_done.
      */
     bool hasEnumFlows = false;
+    /**
+     * SVC batches the segment's flows were split into (Section 3.2
+     * overflow handling); batches run back to back on the segment's
+     * half-cores, re-streaming the input each time.
+     */
+    std::uint32_t numBatches = 1;
+    /** Cycles to load the next batch's state vectors between batches. */
+    Cycles batchReloadCycles = 0;
 };
 
 /** Outcome of the timeline simulation. */
@@ -68,6 +78,8 @@ struct TimelineResult
     Cycles switchCycles = 0;
     /** Total busy cycles (symbols + switches) across all flows. */
     Cycles busyCycles = 0;
+    /** Cycles spent re-loading state vectors between SVC batches. */
+    Cycles reuploadCycles = 0;
     /** Round-weighted average of live flows (Fig. 9). */
     double avgActiveFlows = 0.0;
 };

@@ -30,11 +30,34 @@ cmp m.nfa m2.nfa
 "$PAPSIM" run m.nfa t.bin --ranks=4 --verbose | grep -q "(verified)"
 "$PAPSIM" run m.anml t.bin --spec=128 | grep -q "speculative:"
 
+# Fault injection: deterministic, detected, recovered, same matches.
+CLEAN=$("$PAPSIM" run m.nfa t.bin --ranks=4 | grep "PAP:")
+FAULTY=$("$PAPSIM" run m.nfa t.bin --ranks=4 \
+    --inject-faults=all:16 --fault-seed=7 2>/dev/null)
+echo "$FAULTY" | grep -q "(recovered)"
+echo "$FAULTY" | grep -q "detected=80 recovered=80"
+CLEAN_MATCHES=$(echo "$CLEAN" | sed 's/PAP: \([0-9]*\) matches.*/\1/')
+echo "$FAULTY" | grep -q "PAP: $CLEAN_MATCHES matches"
+# Overflow policies parse and run.
+"$PAPSIM" run m.nfa t.bin --ranks=4 --overflow=batch \
+    | grep -q "(verified)"
+
 "$PAPSIM" bench Bro217 | grep -q "Bro217:"
 test -f Bro217.nfa
 
-# Error paths exit non-zero.
+# Error paths exit non-zero with a clear message.
 if "$PAPSIM" run missing.nfa t.bin 2>/dev/null; then exit 1; fi
 if "$PAPSIM" bogus 2>/dev/null; then exit 1; fi
+("$PAPSIM" run missing.nfa t.bin 2>&1 || true) \
+    | grep -q "papsim: error:"
+: > empty.bin
+if "$PAPSIM" run m.nfa empty.bin 2>/dev/null; then exit 1; fi
+if "$PAPSIM" run m.nfa t.bin --ranks=zero 2>/dev/null; then exit 1; fi
+if "$PAPSIM" run m.nfa t.bin --inject-faults=bogus 2>/dev/null; then
+    exit 1
+fi
+if "$PAPSIM" run m.nfa t.bin --overflow=wat 2>/dev/null; then exit 1; fi
+printf '# nothing\n' > empty_rules.txt
+if "$PAPSIM" compile empty_rules.txt e.nfa 2>/dev/null; then exit 1; fi
 
 echo "cli smoke ok"

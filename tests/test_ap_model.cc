@@ -74,12 +74,12 @@ TEST(Placement, BinPacksComponents)
 TEST(StateVectorCache, SaveLoadInvalidate)
 {
     StateVectorCache svc(4);
-    svc.save(0, {1, 2, 3});
-    svc.save(1, {1, 2, 3});
-    svc.save(2, {});
+    EXPECT_TRUE(svc.save(0, {1, 2, 3}).ok());
+    EXPECT_TRUE(svc.save(1, {1, 2, 3}).ok());
+    EXPECT_TRUE(svc.save(2, {}).ok());
     EXPECT_TRUE(svc.resident(0));
     EXPECT_EQ(svc.occupancy(), 3u);
-    EXPECT_EQ(svc.load(0), (std::vector<StateId>{1, 2, 3}));
+    EXPECT_EQ(*svc.load(0).value(), (std::vector<StateId>{1, 2, 3}));
     EXPECT_TRUE(svc.equal(0, 1));
     EXPECT_FALSE(svc.equal(0, 2));
     EXPECT_TRUE(svc.isZero(2));
@@ -96,10 +96,50 @@ TEST(StateVectorCache, SaveLoadInvalidate)
 TEST(StateVectorCache, OverwriteDoesNotGrow)
 {
     StateVectorCache svc(1);
-    svc.save(7, {1});
-    svc.save(7, {2});
+    EXPECT_TRUE(svc.save(7, {1}).ok());
+    EXPECT_TRUE(svc.save(7, {2}).ok());
     EXPECT_EQ(svc.occupancy(), 1u);
-    EXPECT_EQ(svc.load(7), (std::vector<StateId>{2}));
+    EXPECT_EQ(*svc.load(7).value(), (std::vector<StateId>{2}));
+}
+
+TEST(StateVectorCache, ExactCapacityBoundary)
+{
+    // The D480 SVC holds exactly 512 contexts: the 512th flow fits,
+    // the 513th is rejected with a typed capacity error.
+    StateVectorCache svc(512);
+    for (FlowId f = 0; f < 512; ++f)
+        ASSERT_TRUE(svc.save(f, {f}).ok()) << "flow " << f;
+    EXPECT_EQ(svc.occupancy(), 512u);
+
+    const Status overflow = svc.save(512, {512});
+    EXPECT_FALSE(overflow.ok());
+    EXPECT_EQ(overflow.code(), ErrorCode::CapacityExceeded);
+    EXPECT_FALSE(svc.resident(512));
+    EXPECT_EQ(svc.occupancy(), 512u);
+    EXPECT_EQ(svc.counters().get("svc.save_rejects"), 1u);
+
+    // Overwriting a resident flow at full capacity still succeeds,
+    // and eviction opens a slot for the rejected flow.
+    EXPECT_TRUE(svc.save(511, {9, 10}).ok());
+    svc.invalidate(0);
+    EXPECT_TRUE(svc.save(512, {512}).ok());
+    EXPECT_EQ(svc.occupancy(), 512u);
+}
+
+TEST(StateVectorCache, LoadNonResidentReturnsTypedError)
+{
+    StateVectorCache svc(2);
+    EXPECT_TRUE(svc.save(1, {4, 5}).ok());
+    const auto miss = svc.load(9);
+    EXPECT_FALSE(miss.ok());
+    EXPECT_EQ(miss.status().code(), ErrorCode::InvalidInput);
+    EXPECT_EQ(svc.counters().get("svc.load_misses"), 1u);
+
+    svc.invalidate(1);
+    const auto evicted = svc.load(1);
+    EXPECT_FALSE(evicted.ok());
+    EXPECT_EQ(evicted.status().code(), ErrorCode::InvalidInput);
+    EXPECT_EQ(svc.counters().get("svc.load_misses"), 2u);
 }
 
 TEST(ReportBuffer, TracksFlowAttribution)
@@ -108,10 +148,36 @@ TEST(ReportBuffer, TracksFlowAttribution)
     buffer.push(3, ReportEvent{10, 1, 100});
     buffer.push(5, {ReportEvent{11, 2, 101}, ReportEvent{12, 3, 102}});
     EXPECT_EQ(buffer.totalEvents(), 3u);
+    EXPECT_EQ(buffer.droppedEvents(), 0u);
     EXPECT_EQ(buffer.eventsFromFlow(3), 1u);
     EXPECT_EQ(buffer.eventsFromFlow(5), 2u);
     EXPECT_EQ(buffer.eventsFromFlow(9), 0u);
     EXPECT_EQ(buffer.entries()[1].event.code, 101u);
+}
+
+TEST(ReportBuffer, BoundedCapacityDropsAndAccounts)
+{
+    ReportBuffer buffer(2);
+    EXPECT_EQ(buffer.capacity(), 2u);
+    EXPECT_EQ(buffer.push(1, ReportEvent{10, 1, 100}), 0u);
+    // Batch push that straddles the boundary: one accepted, one dropped.
+    EXPECT_EQ(
+        buffer.push(2, {ReportEvent{11, 2, 101}, ReportEvent{12, 3, 102}}),
+        1u);
+    EXPECT_TRUE(buffer.full());
+    EXPECT_EQ(buffer.push(3, ReportEvent{13, 4, 103}), 1u);
+    EXPECT_EQ(buffer.entries().size(), 2u);
+    EXPECT_EQ(buffer.droppedEvents(), 2u);
+    EXPECT_EQ(buffer.totalEvents(), 4u);
+    // The retained prefix preserves arrival order.
+    EXPECT_EQ(buffer.entries()[0].event.code, 100u);
+    EXPECT_EQ(buffer.entries()[1].event.code, 101u);
+
+    // Draining frees space; the drop count is cumulative.
+    buffer.clear();
+    EXPECT_FALSE(buffer.full());
+    EXPECT_EQ(buffer.push(4, ReportEvent{14, 5, 104}), 0u);
+    EXPECT_EQ(buffer.droppedEvents(), 2u);
 }
 
 } // namespace

@@ -174,18 +174,38 @@ TEST(RunnerEdges, ReportCostAffectsBaseline)
     EXPECT_EQ(seq_cheap.reports.size(), 5000u);
 }
 
-TEST(RunnerEdges, MaxFlowsLimitIsObserved)
+TEST(RunnerEdges, MaxFlowsLimitDegradesToSequential)
 {
     // Limit of 1 flow per segment: a two-star single-component rule
-    // needs 2, which must fail fast. Death tests fork, so only run
-    // where gtest supports it.
+    // needs 2. Under the default policy the run degrades to the
+    // golden sequential result instead of dying.
     const Nfa nfa = compileRuleset({{"ab.*cd.*ef", 1}}, "m");
     Rng rng(83);
     const InputTrace input = randomTextTrace(rng, 8192, "abcdef");
     PapOptions opt;
     opt.maxFlowsPerSegment = 1;
-    EXPECT_EXIT(runPap(nfa, input, tinyBoard(4), opt),
-                ::testing::ExitedWithCode(1), "enumeration flows");
+    const PapResult r = runPap(nfa, input, tinyBoard(4), opt);
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.degraded);
+    EXPECT_TRUE(r.verified);
+    EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+    const SequentialResult seq = runSequential(nfa, input, opt);
+    EXPECT_EQ(r.reports, seq.reports);
+}
+
+TEST(RunnerEdges, MaxFlowsLimitFailsWhenAskedTo)
+{
+    const Nfa nfa = compileRuleset({{"ab.*cd.*ef", 1}}, "m");
+    Rng rng(83);
+    const InputTrace input = randomTextTrace(rng, 8192, "abcdef");
+    PapOptions opt;
+    opt.maxFlowsPerSegment = 1;
+    opt.overflowPolicy = OverflowPolicy::Fail;
+    const PapResult r = runPap(nfa, input, tinyBoard(4), opt);
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.code(), ErrorCode::CapacityExceeded);
+    EXPECT_FALSE(r.verified);
+    EXPECT_TRUE(r.reports.empty());
 }
 
 } // namespace

@@ -27,6 +27,7 @@
  *       Build a registered Table-1 benchmark and print its profile.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +47,7 @@
 #include "nfa/glushkov.h"
 #include "nfa/nfa_io.h"
 #include "nfa/prefix_merge.h"
+#include "pap/fault_injector.h"
 #include "pap/runner.h"
 #include "pap/speculative.h"
 #include "workloads/benchmarks.h"
@@ -69,9 +71,55 @@ usage()
         "           [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]\n"
         "           [--verbose] [--metrics-json=PATH]\n"
         "           [--trace-out=PATH] [--profile]\n"
+        "           [--overflow=batch|sequential|fail]\n"
+        "           [--inject-faults=SPEC] [--fault-seed=N]\n"
+        "           SPEC: kind[:count[:rate]],... with kinds\n"
+        "           corrupt-sv evict-svc drop-report truncate-report\n"
+        "           drop-fiv all\n"
         "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
         "  bench    <name>\n");
     return 2;
+}
+
+/** Print a CLI error and return the conventional failure exit code. */
+int
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "papsim: error: %s\n", msg.c_str());
+    return 1;
+}
+
+/** True when @p path exists and is readable. */
+bool
+readableFile(const std::string &path)
+{
+    std::ifstream probe(path, std::ios::binary);
+    return static_cast<bool>(probe);
+}
+
+/** Strict full-string unsigned parse (strtoull alone accepts trash). */
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long val = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end == s.c_str() || *end != '\0')
+        return false;
+    *out = val;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, std::uint32_t *out)
+{
+    std::uint64_t wide = 0;
+    if (!parseU64(s, &wide) || wide > 0xffffffffull)
+        return false;
+    *out = static_cast<std::uint32_t>(wide);
+    return true;
 }
 
 bool
@@ -146,7 +194,7 @@ cmdCompile(const std::vector<std::string> &args)
         return usage();
     std::ifstream is(args[0]);
     if (!is)
-        PAP_FATAL("cannot open rules file '", args[0], "'");
+        return fail("cannot open rules file '" + args[0] + "'");
     std::string dummy;
     const bool anchored = flagValue(args, "--anchored", &dummy);
     const bool merge = flagValue(args, "--prefix-merge", &dummy);
@@ -159,8 +207,11 @@ cmdCompile(const std::vector<std::string> &args)
             continue;
         rules.push_back(RegexRule{line, code++, anchored});
     }
+    if (is.bad())
+        return fail("read error on rules file '" + args[0] + "'");
     if (rules.empty())
-        PAP_FATAL("no rules found in '", args[0], "'");
+        return fail("no rules found in '" + args[0] +
+                    "' (empty file or only comments)");
     Nfa nfa = compileRuleset(rules, args[0]);
     if (merge)
         nfa = commonPrefixMerge(nfa);
@@ -176,6 +227,8 @@ cmdAnalyze(const std::vector<std::string> &args)
 {
     if (args.empty())
         return usage();
+    if (!readableFile(args[0]))
+        return fail("cannot open automaton file '" + args[0] + "'");
     const Nfa nfa = loadAutomaton(args[0]);
     const Components comps = connectedComponents(nfa);
     const RangeAnalysis ranges(nfa);
@@ -211,18 +264,20 @@ cmdGenTrace(const std::vector<std::string> &args)
 {
     if (args.size() < 3)
         return usage();
+    if (!readableFile(args[0]))
+        return fail("cannot open automaton file '" + args[0] + "'");
     const Nfa nfa = loadAutomaton(args[0]);
-    const std::uint64_t len = std::strtoull(args[2].c_str(), nullptr, 0);
-    if (len == 0)
-        PAP_FATAL("trace length must be positive");
+    std::uint64_t len = 0;
+    if (!parseU64(args[2], &len) || len == 0)
+        return fail("trace length must be a positive integer, got '" +
+                    args[2] + "'");
 
     TraceGenOptions opt;
     std::string v;
     opt.pm = flagValue(args, "--pm", &v) ? std::atof(v.c_str()) : 0.75;
-    const std::uint64_t seed =
-        flagValue(args, "--seed", &v)
-            ? std::strtoull(v.c_str(), nullptr, 0)
-            : 1;
+    std::uint64_t seed = 1;
+    if (flagValue(args, "--seed", &v) && !parseU64(v, &seed))
+        return fail("--seed needs an integer, got '" + v + "'");
     if (flagValue(args, "--alphabet", &v) && !v.empty()) {
         opt.baseAlphabet = alphabetFromString(v);
     } else {
@@ -237,9 +292,11 @@ cmdGenTrace(const std::vector<std::string> &args)
     const InputTrace trace = generateTrace(nfa, len, opt, seed);
     std::ofstream os(args[1], std::ios::binary);
     if (!os)
-        PAP_FATAL("cannot open '", args[1], "' for writing");
+        return fail("cannot open '" + args[1] + "' for writing");
     os.write(reinterpret_cast<const char *>(trace.begin()),
              static_cast<std::streamsize>(trace.size()));
+    if (!os)
+        return fail("write error on '" + args[1] + "'");
     std::printf("wrote %zu symbols (pm=%.2f, seed=%llu) -> %s\n",
                 trace.size(), opt.pm,
                 static_cast<unsigned long long>(seed),
@@ -305,8 +362,16 @@ cmdRun(const std::vector<std::string> &args)
 {
     if (args.size() < 2)
         return usage();
+    if (!readableFile(args[0]))
+        return fail("cannot open automaton file '" + args[0] + "'");
+    if (!readableFile(args[1]))
+        return fail("cannot open trace file '" + args[1] + "'");
     const Nfa nfa = loadAutomaton(args[0]);
     const InputTrace trace = InputTrace::fromFile(args[1]);
+    if (trace.empty())
+        return fail("trace file '" + args[1] +
+                    "' is empty; refusing to simulate a zero-symbol "
+                    "stream");
 
     std::string v;
     std::string metrics_path, trace_path;
@@ -315,14 +380,15 @@ cmdRun(const std::vector<std::string> &args)
     const bool profile = flagValue(args, "--profile", &v);
     ObsSession obs_session(metrics_path, trace_path, profile);
 
-    const std::uint32_t ranks =
-        flagValue(args, "--ranks", &v)
-            ? static_cast<std::uint32_t>(std::atoi(v.c_str()))
-            : 1;
-    const std::uint64_t max_reports =
-        flagValue(args, "--max-reports", &v)
-            ? std::strtoull(v.c_str(), nullptr, 0)
-            : 10;
+    std::uint32_t ranks = 1;
+    if (flagValue(args, "--ranks", &v) &&
+        (!parseU32(v, &ranks) || ranks == 0))
+        return fail("--ranks needs a positive integer, got '" + v +
+                    "'");
+    std::uint64_t max_reports = 10;
+    if (flagValue(args, "--max-reports", &v) &&
+        !parseU64(v, &max_reports))
+        return fail("--max-reports needs an integer, got '" + v + "'");
 
     std::vector<ReportEvent> reports;
     if (flagValue(args, "--sequential", &v)) {
@@ -335,24 +401,56 @@ cmdRun(const std::vector<std::string> &args)
         reports = r.reports;
     } else if (flagValue(args, "--spec", &v)) {
         SpeculationOptions opt;
-        if (!v.empty())
-            opt.warmupWindow =
-                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        if (!v.empty() && !parseU32(v, &opt.warmupWindow))
+            return fail("--spec window needs an integer, got '" + v +
+                        "'");
         const SpeculationResult r =
             runSpeculative(nfa, trace, ApConfig::d480(ranks), opt);
         std::printf("speculative: %zu matches, %u segments, accuracy "
                     "%.2f, speedup %.2fx%s\n",
                     r.reports.size(), r.numSegments, r.accuracy,
-                    r.speedup, r.verified ? " (verified)" : "");
+                    r.speedup,
+                    r.verified ? " (verified)"
+                               : (r.recovered ? " (recovered)" : ""));
         reports = r.reports;
     } else {
         PapOptions opt;
-        if (flagValue(args, "--quantum", &v))
-            opt.tdmQuantum =
-                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        if (flagValue(args, "--quantum", &v) &&
+            (!parseU32(v, &opt.tdmQuantum) || opt.tdmQuantum == 0))
+            return fail("--quantum needs a positive integer, got '" +
+                        v + "'");
+        if (flagValue(args, "--overflow", &v)) {
+            if (v == "batch")
+                opt.overflowPolicy = OverflowPolicy::Batch;
+            else if (v == "sequential")
+                opt.overflowPolicy = OverflowPolicy::SequentialFallback;
+            else if (v == "fail")
+                opt.overflowPolicy = OverflowPolicy::Fail;
+            else
+                return fail("--overflow must be batch, sequential, or "
+                            "fail; got '" + v + "'");
+        }
+        std::unique_ptr<FaultInjector> injector;
+        if (flagValue(args, "--inject-faults", &v)) {
+            std::uint64_t fault_seed = 1;
+            std::string s;
+            if (flagValue(args, "--fault-seed", &s) &&
+                !parseU64(s, &fault_seed))
+                return fail("--fault-seed needs an integer, got '" + s +
+                            "'");
+            Result<FaultInjector> made =
+                FaultInjector::fromSpec(v, fault_seed);
+            if (!made.ok())
+                return fail(made.status().toString());
+            injector =
+                std::make_unique<FaultInjector>(std::move(made.value()));
+            opt.faultInjector = injector.get();
+        }
         const bool verbose = flagValue(args, "--verbose", &v);
         const PapResult r =
             runPap(nfa, trace, ApConfig::d480(ranks), opt);
+        if (!r.status.ok())
+            return fail(r.status.toString());
         if (verbose) {
             std::printf("  seg       begin    length  flows  deact  "
                         "conv  live  true/paths     tDone   tResolve"
@@ -373,14 +471,23 @@ cmdRun(const std::vector<std::string> &args)
                                 d.entries));
             }
         }
+        const char *mark = r.verified
+                               ? " (verified)"
+                               : (r.recovered ? " (recovered)" : "");
         std::printf(
             "PAP: %zu matches, %u segments (ideal %ux), speedup "
-            "%.2fx%s\n  flows range/cc/parent/active = "
+            "%.2fx%s%s\n  flows range/cc/parent/active = "
             "%.0f/%.0f/%.0f/%.1f, switch %.2f%%, inflation %.1fx\n",
             r.reports.size(), r.numSegments, r.idealSpeedup, r.speedup,
-            r.verified ? " (verified)" : "", r.flowsInRange,
+            mark, r.degraded ? " [degraded]" : "", r.flowsInRange,
             r.flowsAfterCc, r.flowsAfterParent, r.avgActiveFlows,
             r.switchOverheadPct, r.reportInflation);
+        if (r.svcBatches > 1)
+            std::printf("  SVC overflow: ran in up to %u batches per "
+                        "segment\n",
+                        r.svcBatches);
+        if (injector)
+            std::printf("  %s\n", injector->summary().c_str());
         reports = r.reports;
     }
     for (std::size_t i = 0; i < reports.size() && i < max_reports; ++i)
@@ -397,6 +504,8 @@ cmdConvert(const std::vector<std::string> &args)
 {
     if (args.size() < 2)
         return usage();
+    if (!readableFile(args[0]))
+        return fail("cannot open automaton file '" + args[0] + "'");
     const Nfa nfa = loadAutomaton(args[0]);
     saveAutomaton(nfa, args[1]);
     std::printf("converted %s (%zu states) -> %s\n", args[0].c_str(),
@@ -413,6 +522,12 @@ cmdBench(const std::vector<std::string> &args)
             std::printf("  %s\n", info.name.c_str());
         return 0;
     }
+    bool known = false;
+    for (const auto &entry : benchmarkRegistry())
+        known = known || entry.name == args[0];
+    if (!known)
+        return fail("unknown benchmark '" + args[0] +
+                    "' (run 'papsim bench' to list them)");
     const BenchmarkInfo &info = benchmarkInfo(args[0]);
     const Nfa nfa = buildBenchmark(info.name);
     const Components comps = connectedComponents(nfa);
