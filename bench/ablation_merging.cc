@@ -74,6 +74,7 @@ main()
         for (const auto &variant : kVariants) {
             PapOptions opt;
             opt.routingMinHalfCores = info.paper.halfCores;
+            opt.threads = bench::hostThreads();
             variant.apply(opt);
             const PapResult r =
                 runPap(nfa, input, ApConfig::d480(4), opt);

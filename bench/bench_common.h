@@ -48,6 +48,19 @@ largeTraceLen()
     return 1ull << 20;
 }
 
+/**
+ * Host threads for the functional simulation, from PAP_THREADS
+ * (default 0 = one per hardware thread). Simulated cycle numbers are
+ * thread-count invariant; only the wall clock changes.
+ */
+inline std::uint32_t
+hostThreads()
+{
+    if (const char *env = std::getenv("PAP_THREADS"))
+        return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    return 0;
+}
+
 /** Human label for the configured sizes. */
 inline std::string
 traceSizeLabel()

@@ -34,6 +34,7 @@ main()
             buildBenchmarkTrace(nfa, info.name, len);
         PapOptions opt;
         opt.routingMinHalfCores = info.paper.halfCores;
+        opt.threads = bench::hostThreads();
         const PapResult r = runPap(nfa, input, ApConfig::d480(4), opt);
         table.addRow({info.name, fmtDouble(r.switchOverheadPct, 2)});
     }

@@ -37,6 +37,7 @@ main()
             buildBenchmarkTrace(nfa, info.name, len);
         PapOptions opt;
         opt.routingMinHalfCores = info.paper.halfCores;
+        opt.threads = bench::hostThreads();
         const PapResult r = runPap(nfa, input, ApConfig::d480(4), opt);
         table.addRow({info.name, fmtCount(r.seqReportEvents),
                       fmtCount(r.papReportEvents),

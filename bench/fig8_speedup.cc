@@ -38,6 +38,7 @@ runOne(const BenchmarkInfo &info, std::uint64_t base_len)
 
     PapOptions opt;
     opt.routingMinHalfCores = info.paper.halfCores;
+    opt.threads = bench::hostThreads();
 
     Row row;
     row.name = info.name;

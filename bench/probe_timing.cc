@@ -32,6 +32,7 @@ main(int argc, char **argv)
         const auto t2 = std::chrono::steady_clock::now();
         PapOptions opt;
         opt.routingMinHalfCores = info.paper.halfCores;
+        opt.threads = bench::hostThreads();
         const PapResult r = runPap(nfa, input, ApConfig::d480(4), opt);
         const auto t3 = std::chrono::steady_clock::now();
         auto ms = [](auto a, auto b) {

@@ -42,6 +42,7 @@ main()
         for (int i = 0; i < 3; ++i) {
             PapOptions opt;
             opt.routingMinHalfCores = info.paper.halfCores;
+            opt.threads = bench::hostThreads();
             opt.contextSwitchCycles = costs[i];
             speedups[i] =
                 runPap(nfa, input, ApConfig::d480(4), opt).speedup;

@@ -44,6 +44,7 @@ main()
             buildBenchmarkTrace(nfa, info.name, len);
         PapOptions opt;
         opt.routingMinHalfCores = info.paper.halfCores;
+        opt.threads = bench::hostThreads();
         const PapResult r = runPap(nfa, input, board, opt);
 
         const std::uint64_t blocks =

@@ -46,6 +46,7 @@ main()
         for (const auto k : quanta) {
             PapOptions opt;
             opt.routingMinHalfCores = info.paper.halfCores;
+            opt.threads = bench::hostThreads();
             opt.tdmQuantum = k;
             const PapResult r =
                 runPap(nfa, input, ApConfig::d480(4), opt);

@@ -11,6 +11,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::CapacityExceeded: return "CapacityExceeded";
       case ErrorCode::VerificationFailed: return "VerificationFailed";
       case ErrorCode::HardwareFault: return "HardwareFault";
+      case ErrorCode::DeadlineExceeded: return "DeadlineExceeded";
+      case ErrorCode::Cancelled: return "Cancelled";
+      case ErrorCode::CheckpointCorrupt: return "CheckpointCorrupt";
     }
     return "Unknown";
 }

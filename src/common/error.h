@@ -33,6 +33,12 @@ enum class ErrorCode : std::uint8_t
     VerificationFailed,
     /** A (possibly injected) hardware fault corrupted machine state. */
     HardwareFault,
+    /** A watchdog deadline expired before the work completed. */
+    DeadlineExceeded,
+    /** The operation was cancelled before it completed. */
+    Cancelled,
+    /** A checkpoint file is missing, truncated, or fails its CRC. */
+    CheckpointCorrupt,
 };
 
 /** Stable name of an error code ("CapacityExceeded", ...). */

@@ -10,6 +10,7 @@
 #ifndef PAP_COMMON_RNG_H
 #define PAP_COMMON_RNG_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -47,6 +48,21 @@ class Rng
 
     /** Geometric-ish length: lo + Geom(p) truncated at hi. */
     int nextLength(int lo, int hi, double p_continue);
+
+    /** The raw generator state (for checkpoint serialization). */
+    std::array<std::uint64_t, 4>
+    saveState() const
+    {
+        return {state[0], state[1], state[2], state[3]};
+    }
+
+    /** Restore a state captured with saveState(). */
+    void
+    restoreState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (std::size_t i = 0; i < 4; ++i)
+            state[i] = s[i];
+    }
 
     /** Pick a uniformly random element of a non-empty vector. */
     template <typename T>

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hardened work-pool execution driver: the engine under runPap,
+ * runSpeculative, and runMultiStream. runHardened() fans a batch of
+ * independent index-addressed tasks out over a WorkerPool and wraps
+ * every attempt in three resilience layers:
+ *
+ *  1. a Watchdog deadline — a stalled attempt is cancelled through its
+ *     CancellationToken and surfaces as ErrorCode::DeadlineExceeded;
+ *  2. capped-exponential-backoff retry — a failed attempt (deadline,
+ *     crash, or error Status) is retried up to maxRetries times, each
+ *     retry on a fresh token so an expired attempt cannot poison it;
+ *  3. structured failure reporting — a task that exhausts its retries
+ *     reports its terminal Status so the caller can fall back to the
+ *     sequential oracle for just that piece of work.
+ *
+ * Determinism contract: tasks must write only to their own preallocated
+ * output slot. The driver imposes no ordering between tasks, so every
+ * cross-task reduction belongs in the caller, run in index order after
+ * runHardened returns — that is what keeps reports and per-figure
+ * metrics byte-identical for any thread count.
+ */
+
+#ifndef PAP_PAP_EXEC_DRIVER_H
+#define PAP_PAP_EXEC_DRIVER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.h"
+#include "pap/exec/cancellation.h"
+#include "pap/fault_injector.h"
+
+namespace pap {
+namespace exec {
+
+/** Tuning for one runHardened batch. */
+struct HardenedExecOptions
+{
+    /** Pool width; pass through WorkerPool::resolveThreads first. */
+    std::uint32_t threads = 1;
+    /** Extra attempts after the first (0 disables retry). */
+    std::uint32_t maxRetries = 2;
+    /** Watchdog deadline per attempt; <= 0 disables the watchdog. */
+    double deadlineMs = 0.0;
+    /** First retry backoff; doubles per retry up to backoffCapMs. */
+    std::uint32_t backoffBaseMs = 1;
+    std::uint32_t backoffCapMs = 64;
+    /** Optional injector consulted before every attempt. */
+    FaultInjector *injector = nullptr;
+};
+
+/** Outcome of one task across all of its attempts. */
+struct TaskReport
+{
+    /** OK, or the terminal failure after retries were exhausted. */
+    Status status;
+    /** Attempts made (>= 1). */
+    std::uint32_t attempts = 0;
+    /** True when any attempt after the first was needed. */
+    bool retried = false;
+    /** True when any attempt hit the watchdog deadline. */
+    bool timedOut = false;
+    /** True when any attempt crashed (injected or thrown). */
+    bool crashed = false;
+    /** Worker faults the injector fired across this task's attempts. */
+    std::uint32_t faultsInjected = 0;
+};
+
+/** A task body: runs piece @p index, polling @p cancel cooperatively. */
+using TaskFn =
+    std::function<Status(std::size_t index,
+                         const CancellationToken &cancel)>;
+
+/**
+ * Run tasks [0, count) on a hardened pool and block until every task
+ * has either succeeded or exhausted its retries. reports[i] describes
+ * task i; the order of the returned vector is index order regardless
+ * of scheduling. Safe to call with threads == 1 (the pool still runs
+ * tasks on a worker thread so the watchdog can cancel them).
+ */
+std::vector<TaskReport> runHardened(const HardenedExecOptions &options,
+                                    std::size_t count,
+                                    const TaskFn &fn);
+
+} // namespace exec
+} // namespace pap
+
+#endif // PAP_PAP_EXEC_DRIVER_H

@@ -1,0 +1,79 @@
+#include "pap/exec/watchdog.h"
+
+#include "obs/metrics.h"
+
+namespace pap {
+namespace exec {
+
+Watchdog::Watchdog() : monitor_([this] { monitorLoop(); }) {}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    monitor_.join();
+}
+
+Watchdog::Handle
+Watchdog::arm(std::shared_ptr<CancellationToken> token,
+              Clock::time_point deadline)
+{
+    Handle handle;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handle = nextHandle_++;
+        entries_.emplace(handle, Entry{std::move(token), deadline});
+    }
+    wake_.notify_all(); // the new deadline may be the nearest
+    return handle;
+}
+
+void
+Watchdog::disarm(Handle handle)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(handle);
+}
+
+std::uint64_t
+Watchdog::expiries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return expiries_;
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        const Clock::time_point now = Clock::now();
+
+        // Fire every overdue entry and find the nearest live deadline.
+        Clock::time_point nearest = Clock::time_point::max();
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->second.deadline <= now) {
+                it->second.token->cancel();
+                ++expiries_;
+                obs::metrics().add("exec.watchdog.timeouts");
+                it = entries_.erase(it);
+            } else {
+                nearest = std::min(nearest, it->second.deadline);
+                ++it;
+            }
+        }
+
+        if (nearest == Clock::time_point::max())
+            wake_.wait(lock, [this] {
+                return stopping_ || !entries_.empty();
+            });
+        else
+            wake_.wait_until(lock, nearest);
+    }
+}
+
+} // namespace exec
+} // namespace pap

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deadline watchdog for hardened host-parallel execution. Workers arm
+ * an entry (cancellation token + wall-clock deadline) before starting
+ * a segment attempt and disarm it on completion; one monitor thread
+ * sleeps until the nearest deadline and cancels the token of any
+ * attempt that overruns. Expiries are counted so the retry layer and
+ * the metrics registry can account every timeout.
+ */
+
+#ifndef PAP_PAP_EXEC_WATCHDOG_H
+#define PAP_PAP_EXEC_WATCHDOG_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "pap/exec/cancellation.h"
+
+namespace pap {
+namespace exec {
+
+class Watchdog
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    using Handle = std::uint64_t;
+
+    Watchdog();
+
+    /** Cancels nothing on shutdown; just stops the monitor thread. */
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Watch @p token until disarm(): if @p deadline passes first the
+     * token is cancelled and the expiry counted.
+     */
+    Handle arm(std::shared_ptr<CancellationToken> token,
+               Clock::time_point deadline);
+
+    /** Stop watching @p handle (idempotent; fine after an expiry). */
+    void disarm(Handle handle);
+
+    /** Deadlines that expired over this watchdog's lifetime. */
+    std::uint64_t expiries() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<CancellationToken> token;
+        Clock::time_point deadline;
+    };
+
+    void monitorLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::map<Handle, Entry> entries_;
+    Handle nextHandle_ = 1;
+    std::uint64_t expiries_ = 0;
+    bool stopping_ = false;
+    std::thread monitor_;
+};
+
+} // namespace exec
+} // namespace pap
+
+#endif // PAP_PAP_EXEC_WATCHDOG_H

@@ -1,0 +1,83 @@
+#include "pap/exec/worker_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pap {
+namespace exec {
+
+WorkerPool::WorkerPool(std::uint32_t threads)
+{
+    PAP_ASSERT(threads >= 1, "WorkerPool needs at least one thread");
+    workers_.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PAP_ASSERT(!stopping_, "submit on a stopping WorkerPool");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+WorkerPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+std::uint32_t
+WorkerPool::resolveThreads(std::uint32_t requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1u, hw);
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+        idle_.notify_all();
+    }
+}
+
+} // namespace exec
+} // namespace pap

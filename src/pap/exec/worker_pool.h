@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-size host worker pool for per-segment simulation. Workers pull
+ * plain closures from one locked queue; the pool joins its threads on
+ * destruction after draining. Scheduling order is unspecified, so
+ * anything run on the pool must write only to its own output slot —
+ * the hardened driver (driver.h) merges results in index order to keep
+ * runs deterministic for any thread count.
+ */
+
+#ifndef PAP_PAP_EXEC_WORKER_POOL_H
+#define PAP_PAP_EXEC_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pap {
+namespace exec {
+
+class WorkerPool
+{
+  public:
+    /** Start @p threads workers (>= 1; use resolveThreads first). */
+    explicit WorkerPool(std::uint32_t threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue @p task; it runs on some worker, exactly once. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void drain();
+
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(workers_.size());
+    }
+
+    /**
+     * Resolve a user thread-count request: 0 means "one per hardware
+     * thread" (never less than 1).
+     */
+    static std::uint32_t resolveThreads(std::uint32_t requested);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace exec
+} // namespace pap
+
+#endif // PAP_PAP_EXEC_WORKER_POOL_H

@@ -10,8 +10,8 @@ namespace pap {
 namespace {
 
 const char *const kKindNames[kFaultKindCount] = {
-    "corrupt-sv", "evict-svc", "drop-report", "truncate-report",
-    "drop-fiv",
+    "corrupt-sv",  "evict-svc",    "drop-report", "truncate-report",
+    "drop-fiv",    "stall-worker", "crash-worker",
 };
 
 /** Metric suffix: spec name with '-' mapped to '_'. */
@@ -23,6 +23,23 @@ metricSuffix(FaultKind kind)
     return s;
 }
 
+/** splitmix64 finalizer: avalanche mix for worker-fault decisions. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform draw in [0, 1) from a hash value. */
+double
+hashToUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 } // namespace
 
 const char *
@@ -31,11 +48,43 @@ faultKindName(FaultKind kind)
     return kKindNames[static_cast<std::size_t>(kind)];
 }
 
-FaultInjector::FaultInjector(std::uint64_t seed) : rng(seed) {}
+FaultInjector::FaultInjector(std::uint64_t seed)
+    : seed_(seed), rng(seed)
+{
+}
+
+FaultInjector::FaultInjector(const FaultInjector &other)
+    : seed_(other.seed_), rng(other.rng)
+{
+    std::lock_guard<std::mutex> lock(*other.mutex_);
+    budgets = other.budgets;
+    injectedByKind = other.injectedByKind;
+    totalInjected = other.totalInjected;
+    totalDetected = other.totalDetected;
+    totalRecovered = other.totalRecovered;
+}
+
+FaultInjector &
+FaultInjector::operator=(const FaultInjector &other)
+{
+    if (this == &other)
+        return *this;
+    std::lock_guard<std::mutex> mine(*mutex_);
+    std::lock_guard<std::mutex> theirs(*other.mutex_);
+    seed_ = other.seed_;
+    rng = other.rng;
+    budgets = other.budgets;
+    injectedByKind = other.injectedByKind;
+    totalInjected = other.totalInjected;
+    totalDetected = other.totalDetected;
+    totalRecovered = other.totalRecovered;
+    return *this;
+}
 
 void
 FaultInjector::arm(FaultKind kind, std::uint32_t count, double rate)
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     auto &b = budgets[static_cast<std::size_t>(kind)];
     b.remaining = count;
     b.rate = rate;
@@ -91,7 +140,12 @@ FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
 
         bool matched = false;
         for (std::size_t k = 0; k < kFaultKindCount; ++k) {
-            if (kind_name == kKindNames[k] || kind_name == "all") {
+            // "all" arms every modeled-hardware kind; the host worker
+            // kinds only fire when named explicitly, so existing
+            // "all"-based recovery tests keep their expectations.
+            const bool via_all =
+                kind_name == "all" && k < kWorkerFaultFirst;
+            if (kind_name == kKindNames[k] || via_all) {
                 injector.arm(static_cast<FaultKind>(k), count, rate);
                 matched = true;
             }
@@ -101,7 +155,8 @@ FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
                 ErrorCode::InvalidInput, "unknown fault kind '",
                 kind_name,
                 "' (want corrupt-sv, evict-svc, drop-report, "
-                "truncate-report, drop-fiv, or all)");
+                "truncate-report, drop-fiv, stall-worker, "
+                "crash-worker, or all)");
     }
     return injector;
 }
@@ -115,17 +170,24 @@ FaultInjector::tryFire(FaultKind kind)
     if (!rng.nextBool(b.rate))
         return false;
     --b.remaining;
+    recordInjection(kind);
+    return true;
+}
+
+void
+FaultInjector::recordInjection(FaultKind kind)
+{
     ++injectedByKind[static_cast<std::size_t>(kind)];
     ++totalInjected;
     auto &m = obs::metrics();
     m.add("faults.injected");
     m.add("faults.injected." + metricSuffix(kind));
-    return true;
 }
 
 FaultInjector::SvAction
 FaultInjector::onContextSwitch(FlowId)
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     if (tryFire(FaultKind::CorruptStateVector))
         return SvAction::Corrupt;
     if (tryFire(FaultKind::EvictSvcEntry))
@@ -137,6 +199,7 @@ void
 FaultInjector::corruptVector(std::vector<StateId> &vector,
                              StateId num_states)
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     if (num_states == 0)
         return;
     const StateId victim =
@@ -152,6 +215,7 @@ FaultInjector::corruptVector(std::vector<StateId> &vector,
 std::uint64_t
 FaultInjector::onReportDrain(std::vector<ReportEvent> &reports)
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     std::uint64_t removed = 0;
     if (!reports.empty() && tryFire(FaultKind::DropReport)) {
         const std::size_t idx = rng.nextBelow(reports.size());
@@ -170,12 +234,42 @@ FaultInjector::onReportDrain(std::vector<ReportEvent> &reports)
 bool
 FaultInjector::onFivDownload()
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     return tryFire(FaultKind::DropFiv);
+}
+
+FaultInjector::WorkerFault
+FaultInjector::onWorkerAttempt(std::uint64_t segment,
+                               std::uint32_t attempt)
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    // Unlike the hardware kinds, worker faults never consult the
+    // shared RNG stream: the draw is a pure hash of (seed, kind,
+    // segment), so the faulted segment set is invariant under thread
+    // count and scheduling order. count caps faulted attempts per
+    // affected segment; rate is the per-segment selection probability.
+    for (const FaultKind kind :
+         {FaultKind::StallWorker, FaultKind::CrashWorker}) {
+        const auto &b = budgets[static_cast<std::size_t>(kind)];
+        if (b.remaining == 0 || attempt >= b.remaining)
+            continue;
+        const std::uint64_t h =
+            mix64(mix64(seed_ ^ (0x5741ull +
+                                 static_cast<std::uint64_t>(kind))) ^
+                  segment);
+        if (b.rate < 1.0 && hashToUnit(h) >= b.rate)
+            continue;
+        recordInjection(kind);
+        return kind == FaultKind::StallWorker ? WorkerFault::Stall
+                                              : WorkerFault::Crash;
+    }
+    return WorkerFault::None;
 }
 
 void
 FaultInjector::markDetected(std::uint64_t count)
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     totalDetected += count;
     obs::metrics().add("faults.detected", count);
 }
@@ -183,6 +277,7 @@ FaultInjector::markDetected(std::uint64_t count)
 void
 FaultInjector::markRecovered(std::uint64_t count)
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     totalRecovered += count;
     obs::metrics().add("faults.recovered", count);
 }
@@ -190,6 +285,7 @@ FaultInjector::markRecovered(std::uint64_t count)
 std::string
 FaultInjector::summary() const
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     std::string s = "faults: injected=" + std::to_string(totalInjected);
     s += " detected=" + std::to_string(totalDetected);
     s += " recovered=" + std::to_string(totalRecovered);
@@ -198,6 +294,20 @@ FaultInjector::summary() const
             s += std::string(" ") + kKindNames[k] + "=" +
                  std::to_string(injectedByKind[k]);
     return s;
+}
+
+std::array<std::uint64_t, 4>
+FaultInjector::rngState() const
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    return rng.saveState();
+}
+
+void
+FaultInjector::restoreRngState(const std::array<std::uint64_t, 4> &state)
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    rng.restoreState(state);
 }
 
 } // namespace pap

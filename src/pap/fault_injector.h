@@ -15,12 +15,30 @@
  *                     download between two segments, so the next
  *                     segment composes against an empty true set.
  *
- * Every fault is drawn from one seeded RNG in simulation order, so a
- * given (spec, seed) pair injects the exact same faults on every run.
+ * Two further kinds target the *host* execution layer (the hardened
+ * worker pool of pap/exec) rather than the modeled hardware:
+ *
+ *  - stall-worker     a segment attempt hangs until the watchdog
+ *                     deadline cancels it (exercises retry);
+ *  - crash-worker     a segment attempt dies outright (exercises
+ *                     retry exhaustion and per-segment recovery).
+ *
+ * Every hardware fault is drawn from one seeded RNG in simulation
+ * order, so a given (spec, seed) pair injects the exact same faults on
+ * every run. Worker faults are decided *functionally* from a hash of
+ * (seed, kind, segment) — never from the shared RNG stream — so they
+ * strike the same segments for any thread count or scheduling order;
+ * for them, count means "faulted attempts per affected segment" and
+ * rate the per-segment selection probability. "all" arms only the
+ * five hardware kinds; worker kinds must be named explicitly.
+ *
  * The verification oracle (the golden sequential execution) detects
  * the resulting divergence and the runner repairs it by falling back
  * to the oracle result; the injected/detected/recovered counters let
  * tests assert that full loop closes for every fault kind.
+ *
+ * All hooks are thread-safe: the hardened execution driver consults
+ * the injector concurrently from its worker threads.
  */
 
 #ifndef PAP_PAP_FAULT_INJECTOR_H
@@ -28,6 +46,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,9 +66,13 @@ enum class FaultKind : std::uint8_t
     DropReport,
     TruncateReport,
     DropFiv,
+    StallWorker,
+    CrashWorker,
 };
 
-inline constexpr std::size_t kFaultKindCount = 5;
+inline constexpr std::size_t kFaultKindCount = 7;
+/** Kinds at or past this index target the host worker pool. */
+inline constexpr std::size_t kWorkerFaultFirst = 5;
 
 /** Spec-grammar name of a fault kind ("corrupt-sv", ...). */
 const char *faultKindName(FaultKind kind);
@@ -71,7 +95,9 @@ class FaultInjector
      * @p count is the injection budget for the kind (default 1);
      * @p rate is the per-opportunity firing probability in (0, 1]
      * (default 1, i.e. fire at the first opportunities). "all" arms
-     * every kind with the given count/rate.
+     * every hardware kind (not the worker kinds) with the given
+     * count/rate. For stall-worker/crash-worker, count bounds the
+     * faulted attempts per affected segment and rate selects segments.
      */
     static Result<FaultInjector> fromSpec(const std::string &spec,
                                           std::uint64_t seed);
@@ -102,6 +128,19 @@ class FaultInjector
     /** True when the FIV/truth download between segments is dropped. */
     bool onFivDownload();
 
+    /** Host-execution fault to apply to one segment attempt. */
+    enum class WorkerFault : std::uint8_t { None, Stall, Crash };
+
+    /**
+     * Consult the injector before attempt @p attempt of segment
+     * @p segment runs on a pool worker. The decision is a pure
+     * function of (seed, kind, segment, attempt), so it is identical
+     * for every thread count and scheduling order; injections are
+     * still counted under the usual census.
+     */
+    WorkerFault onWorkerAttempt(std::uint64_t segment,
+                                std::uint32_t attempt);
+
     // --- Bookkeeping -------------------------------------------------
 
     /** Total faults injected so far. */
@@ -131,6 +170,19 @@ class FaultInjector
     /** One-line census for CLI output. */
     std::string summary() const;
 
+    /** RNG state for checkpoint serialization. */
+    std::array<std::uint64_t, 4> rngState() const;
+
+    /** Restore an RNG state captured with rngState(). */
+    void restoreRngState(const std::array<std::uint64_t, 4> &state);
+
+    // Copyable and movable (tests copy out of Result<FaultInjector>);
+    // each copy gets its own lock, counters carry over.
+    FaultInjector(const FaultInjector &other);
+    FaultInjector &operator=(const FaultInjector &other);
+    FaultInjector(FaultInjector &&) = default;
+    FaultInjector &operator=(FaultInjector &&) = default;
+
   private:
     struct Budget
     {
@@ -141,6 +193,13 @@ class FaultInjector
     /** Draw for @p kind; consumes budget and records the injection. */
     bool tryFire(FaultKind kind);
 
+    /** Record one injection of @p kind (mutex held). */
+    void recordInjection(FaultKind kind);
+
+    /** Hands-off lock so the injector stays movable. */
+    std::unique_ptr<std::mutex> mutex_ =
+        std::make_unique<std::mutex>();
+    std::uint64_t seed_ = 0;
     Rng rng;
     std::array<Budget, kFaultKindCount> budgets{};
     std::array<std::uint64_t, kFaultKindCount> injectedByKind{};

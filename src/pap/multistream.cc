@@ -6,6 +6,8 @@
 #include "engine/functional_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "pap/exec/driver.h"
+#include "pap/exec/worker_pool.h"
 #include "pap/runner.h"
 
 namespace pap {
@@ -28,54 +30,104 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     }
 
     const CompiledNfa cnfa(nfa);
-    EngineScratch scratch(nfa.size());
-
-    struct StreamFlow
-    {
-        FunctionalEngine engine;
-        std::uint64_t consumed = 0;
-        Cycles doneAt = 0;
-        bool done = false;
-
-        StreamFlow(const CompiledNfa &c, EngineScratch &s)
-            : engine(c, /*starts=*/true, &s)
-        {}
-    };
-
-    std::vector<StreamFlow> flows;
-    flows.reserve(streams.size());
     std::uint64_t total_symbols = 0;
-    for (const auto &stream : streams) {
-        flows.emplace_back(cnfa, scratch);
-        flows.back().engine.reset(cnfa.initialActive(), 0);
+    for (const auto &stream : streams)
         total_symbols += stream.size();
-    }
 
     MultiStreamResult result;
     result.streamDone.assign(streams.size(), 0);
     result.reports.resize(streams.size());
 
+    // Functional execution: each stream's engine only ever consumes
+    // its own input, so the engines run fully in parallel on the
+    // hardened pool (the round-robin interleaving below is pure
+    // timing arithmetic and never touches an engine). Each task
+    // writes only its own raw[i] slot.
+    std::vector<std::vector<ReportEvent>> raw(streams.size());
+    const auto run_stream =
+        [&](std::size_t i, const exec::CancellationToken *cancel) {
+            EngineScratch scratch(nfa.size());
+            FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
+            engine.reset(cnfa.initialActive(), 0);
+            constexpr std::uint64_t kCancelCheckChunk = 4096;
+            const std::uint64_t len = streams[i].size();
+            std::uint64_t pos = 0;
+            while (pos < len) {
+                if (cancel && cancel->cancelled())
+                    return false;
+                const std::uint64_t n =
+                    std::min(kCancelCheckChunk, len - pos);
+                engine.run(streams[i].ptr(pos), n);
+                pos += n;
+            }
+            raw[i] = engine.takeReports();
+            return true;
+        };
+
+    exec::HardenedExecOptions exec_opt;
+    exec_opt.threads = exec::WorkerPool::resolveThreads(options.threads);
+    exec_opt.maxRetries = options.maxSegmentRetries;
+    exec_opt.backoffBaseMs = options.retryBackoffBaseMs;
+    exec_opt.backoffCapMs = options.retryBackoffCapMs;
+    exec_opt.injector = options.faultInjector;
+    if (options.segmentDeadlineMs > 0.0)
+        exec_opt.deadlineMs = options.segmentDeadlineMs;
+    else if (options.segmentDeadlineMs == 0.0) {
+        std::uint64_t longest = 0;
+        for (const auto &stream : streams)
+            longest = std::max(longest, stream.size());
+        exec_opt.deadlineMs =
+            5000.0 + 0.01 * static_cast<double>(longest);
+    }
+    result.threadsUsed = exec_opt.threads;
+    const auto task_reports = exec::runHardened(
+        exec_opt, streams.size(),
+        [&](std::size_t i,
+            const exec::CancellationToken &cancel) -> Status {
+            if (!run_stream(i, &cancel))
+                return Status::error(ErrorCode::DeadlineExceeded,
+                                     "stream ", i,
+                                     " cancelled by the watchdog");
+            return Status();
+        });
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        if (task_reports[i].status.ok())
+            continue;
+        warn("multiplexed stream ", i, " failed (",
+             task_reports[i].status.message(),
+             "); recomputing it inline");
+        obs::metrics().add("exec.segments.recovered");
+        run_stream(i, nullptr);
+        if (options.faultInjector &&
+            task_reports[i].faultsInjected > 0)
+            options.faultInjector->markRecovered(
+                task_reports[i].faultsInjected);
+    }
+
+    // Timing model: round-robin TDM over the streams with the flow
+    // switch cost, exactly as a single half-core would interleave
+    // them. Depends only on stream lengths, so it is independent of
+    // how the functional work above was scheduled.
     const std::uint64_t quantum = options.tdmQuantum;
+    std::vector<std::uint64_t> consumed(streams.size(), 0);
+    std::vector<std::uint8_t> done(streams.size(), 0);
     Cycles now = 0;
     std::size_t live = streams.size();
     while (live > 0) {
         const std::size_t live_this_round = live;
-        for (std::size_t i = 0; i < flows.size(); ++i) {
-            auto &flow = flows[i];
-            if (flow.done)
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+            if (done[i])
                 continue;
             const std::uint64_t chunk = std::min<std::uint64_t>(
-                quantum, streams[i].size() - flow.consumed);
-            flow.engine.run(streams[i].ptr(flow.consumed), chunk);
-            flow.consumed += chunk;
+                quantum, streams[i].size() - consumed[i]);
+            consumed[i] += chunk;
             now += chunk;
             if (live_this_round > 1) {
                 now += options.contextSwitchCycles;
                 result.switchCycles += options.contextSwitchCycles;
             }
-            if (flow.consumed == streams[i].size()) {
-                flow.done = true;
-                flow.doneAt = now;
+            if (consumed[i] == streams[i].size()) {
+                done[i] = 1;
                 result.streamDone[i] = now;
                 --live;
             }
@@ -90,8 +142,8 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     // Collect reports and verify each stream against its standalone
     // sequential execution; a diverged stream is repaired from it.
     result.verified = true;
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-        result.reports[i] = flows[i].engine.takeReports();
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        result.reports[i] = std::move(raw[i]);
         sortAndDedupReports(result.reports[i]);
         const SequentialResult solo =
             runSequential(nfa, streams[i], options);

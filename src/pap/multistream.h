@@ -53,6 +53,8 @@ struct MultiStreamResult
      * Vector Cache holds contexts (nothing executes in that case).
      */
     Status status;
+    /** Host threads the functional execution ran on. */
+    std::uint32_t threadsUsed = 1;
 };
 
 /**

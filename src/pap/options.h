@@ -10,6 +10,7 @@
 #define PAP_PAP_OPTIONS_H
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 
@@ -135,6 +136,46 @@ struct PapOptions
      * multiple dies by the AP compiler, Section 4.1).
      */
     std::uint32_t routingMinHalfCores = 1;
+
+    // --- Hardened host-parallel execution (pap/exec) ----------------
+
+    /**
+     * Host threads running per-segment simulation (0 = one per
+     * hardware thread). Reports and per-figure metrics are
+     * byte-identical for every thread count; only wall-clock changes.
+     */
+    std::uint32_t threads = 1;
+
+    /**
+     * Watchdog deadline per segment attempt, in wall-clock
+     * milliseconds. 0 derives a generous default from the segment
+     * length (10 us per symbol with a 5 s floor); negative disables
+     * the watchdog entirely.
+     */
+    double segmentDeadlineMs = 0.0;
+
+    /** Extra attempts after a failed segment (0 disables retry). */
+    std::uint32_t maxSegmentRetries = 2;
+
+    /** First retry backoff in ms; doubles per retry, capped below. */
+    std::uint32_t retryBackoffBaseMs = 1;
+    std::uint32_t retryBackoffCapMs = 64;
+
+    /**
+     * Crash-consistent checkpoint file. When non-empty the runner
+     * serializes the composition frontier here after composing each
+     * segment, resumes from a matching checkpoint at startup, and
+     * removes the file on successful completion.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Test hook simulating a killed run: when >= 0, the runner stops
+     * with ErrorCode::Cancelled right after composing (and
+     * checkpointing) this segment index, leaving the checkpoint on
+     * disk for a resume.
+     */
+    std::int64_t stopAfterSegment = -1;
 };
 
 } // namespace pap

@@ -1,6 +1,7 @@
 #include "pap/runner.h"
 
 #include <algorithm>
+#include <array>
 
 #include "ap/placement.h"
 #include "common/logging.h"
@@ -9,6 +10,9 @@
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "pap/composer.h"
+#include "pap/exec/checkpoint.h"
+#include "pap/exec/driver.h"
+#include "pap/exec/worker_pool.h"
 #include "pap/fault_injector.h"
 #include "pap/flow_plan.h"
 #include "pap/partitioner.h"
@@ -80,6 +84,9 @@ recordRunMetrics(const PapResult &result)
         m.add("runner.recoveries");
     if (!result.status.ok())
         m.add("runner.failed_runs");
+    m.add("exec.segments.retried", result.segmentsRetried);
+    m.setGauge("exec.threads_used",
+               static_cast<double>(result.threadsUsed));
     m.setGauge("runner.speedup", result.speedup);
     m.setGauge("runner.pap_cycles",
                static_cast<double>(result.papCycles));
@@ -148,6 +155,39 @@ traceSimulatedTimeline(const PapResult &result)
                         {"total_paths",
                          static_cast<double>(d.totalPaths)}});
     }
+}
+
+/** Hash-combine for the checkpoint identity (splitmix64 finalizer). */
+std::uint64_t
+identityMix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
+/**
+ * Identity hash binding a checkpoint to one (automaton, input,
+ * partitioning) tuple. Thread count and retry knobs are deliberately
+ * excluded: a resume with a different --threads must still match.
+ */
+std::uint64_t
+runIdentity(const Nfa &nfa, const InputTrace &input,
+            std::size_t num_segments, Symbol boundary)
+{
+    std::uint64_t h = 0x5041505349u; // "PAPSI"
+    for (const char c : nfa.name())
+        h = identityMix(h, static_cast<std::uint64_t>(c));
+    h = identityMix(h, nfa.size());
+    h = identityMix(h, input.size());
+    h = identityMix(h, num_segments);
+    h = identityMix(h, boundary);
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1, input.size() / 64);
+    for (std::uint64_t i = 0; i < input.size(); i += stride)
+        h = identityMix(h, input[i]);
+    return h;
 }
 
 } // namespace
@@ -305,67 +345,298 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         return sequential_fallback(why);
     }
 
-    // --- Per-segment simulation -------------------------------------
+    // --- Checkpoint resume ------------------------------------------
+    // A checkpoint binds to one (automaton, input, partitioning)
+    // identity; thread count and retry knobs are excluded so a killed
+    // run can resume with a different --threads and still match.
+    FaultInjector *const injector = options.faultInjector;
+    const bool checkpointing = !options.checkpointPath.empty();
+    const std::uint64_t identity =
+        runIdentity(nfa, input, segs.size(), profile.symbol);
+    exec::CheckpointFrontier frontier;
+    frontier.identity = identity;
+    if (checkpointing) {
+        auto loaded = exec::loadCheckpoint(options.checkpointPath);
+        if (loaded.ok()) {
+            if (loaded.value().identity == identity &&
+                loaded.value().nextSegment <= segs.size()) {
+                frontier = std::move(loaded.value());
+            } else {
+                warn("checkpoint '", options.checkpointPath,
+                     "' belongs to a different run; starting fresh");
+            }
+        } else if (loaded.status().code() ==
+                   ErrorCode::CheckpointCorrupt) {
+            // A bad checkpoint degrades to a fresh run, never blocks.
+            warn(loaded.status().message(), "; starting fresh");
+        }
+    }
+    const std::uint32_t first_segment = frontier.nextSegment;
+    result.resumedFromCheckpoint = first_segment > 0;
+    result.resumedSegments = first_segment;
+    if (result.resumedFromCheckpoint) {
+        obs::metrics().add("exec.checkpoint.resumes");
+        if (injector)
+            injector->restoreRngState(frontier.rngState);
+    }
+
+    // --- Per-segment simulation (hardened worker pool) --------------
     if (sink)
         sink->begin("pap.execute");
-    EngineScratch scratch(nfa.size());
-    FaultInjector *const injector = options.faultInjector;
-    std::vector<SegmentRun> runs;
-    runs.reserve(segs.size());
-    std::vector<std::uint32_t> seg_batches(segs.size(), 1);
+    result.threadsUsed =
+        exec::WorkerPool::resolveThreads(options.threads);
     const std::vector<StateId> no_asg;
+    std::vector<SegmentRun> runs(segs.size());
+    std::vector<std::uint32_t> seg_batches(segs.size(), 1);
 
-    std::uint64_t flow_transitions = 0;
+    exec::HardenedExecOptions exec_opt;
+    exec_opt.threads = result.threadsUsed;
+    exec_opt.maxRetries = options.maxSegmentRetries;
+    exec_opt.backoffBaseMs = options.retryBackoffBaseMs;
+    exec_opt.backoffCapMs = options.retryBackoffCapMs;
+    exec_opt.injector = injector;
+    if (options.segmentDeadlineMs > 0.0) {
+        exec_opt.deadlineMs = options.segmentDeadlineMs;
+    } else if (options.segmentDeadlineMs == 0.0) {
+        // Auto deadline: generous enough that a healthy functional
+        // simulation never trips it (10 us/symbol with a 5 s floor).
+        std::uint64_t longest = 0;
+        for (const Segment &s : segs)
+            longest = std::max(longest, s.length());
+        exec_opt.deadlineMs =
+            5000.0 + 0.01 * static_cast<double>(longest);
+    } // negative: watchdog disabled (deadlineMs stays 0)
 
-    for (std::size_t j = 0; j < segs.size(); ++j) {
-        const Segment &s = segs[j];
-        if (j == 0) {
-            runs.push_back(runGoldenSegment(cnfa, input.ptr(s.begin),
-                                            s.begin, s.length(),
-                                            scratch, injector));
-        } else if (plans[j].flows.size() <= batch_cap) {
-            runs.push_back(runEnumSegment(cnfa, plans[j], asg,
-                                          input.ptr(s.begin), s.begin,
-                                          s.length(), options, scratch));
-        } else {
-            // OverflowPolicy::Batch: the plan exceeds the SVC, so run
-            // it in cache-sized batches, back to back. Flow ids stay
-            // global (FlowSpec::id), so the merged run composes
-            // exactly like an unbatched one; the ASG flow runs once,
-            // in batch 0, under the whole plan's ASG id.
-            const FlowPlan &plan = plans[j];
-            const auto asg_id = static_cast<FlowId>(plan.flows.size());
-            SegmentRun merged;
-            merged.segBegin = s.begin;
-            merged.segLen = s.length();
-            std::uint32_t b = 0;
-            for (std::size_t first = 0; first < plan.flows.size();
-                 first += batch_cap, ++b) {
-                const std::size_t last = std::min(
-                    plan.flows.size(),
-                    first + static_cast<std::size_t>(batch_cap));
-                FlowPlan sub;
-                sub.flows.assign(plan.flows.begin() + first,
-                                 plan.flows.begin() + last);
-                SegmentRun part = runEnumSegment(
-                    cnfa, sub, b == 0 ? asg : no_asg,
-                    input.ptr(s.begin), s.begin, s.length(), options,
-                    scratch, asg_id);
-                if (b == 0)
-                    merged.asgIndex = part.asgIndex;
-                for (auto &rec : part.flows) {
-                    rec.batch = b;
-                    merged.flows.push_back(std::move(rec));
+    // Every task writes only its own runs[j] / seg_batches[j] slot, so
+    // scheduling order cannot leak into the results; all reductions
+    // below run in segment order.
+    const auto task_reports = exec::runHardened(
+        exec_opt, segs.size() - first_segment,
+        [&](std::size_t idx,
+            const exec::CancellationToken &cancel) -> Status {
+            const std::size_t j = first_segment + idx;
+            const Segment &s = segs[j];
+            EngineScratch scratch(nfa.size());
+            SegmentRun run;
+            std::uint32_t batches = 1;
+            if (j == 0) {
+                run = runGoldenSegment(cnfa, input.ptr(s.begin),
+                                       s.begin, s.length(), scratch,
+                                       injector, &cancel);
+            } else if (plans[j].flows.size() <= batch_cap) {
+                run = runEnumSegment(cnfa, plans[j], asg,
+                                     input.ptr(s.begin), s.begin,
+                                     s.length(), options, scratch,
+                                     kInvalidFlow, &cancel);
+            } else {
+                // OverflowPolicy::Batch: the plan exceeds the SVC, so
+                // run it in cache-sized batches, back to back. Flow
+                // ids stay global (FlowSpec::id), so the merged run
+                // composes exactly like an unbatched one; the ASG flow
+                // runs once, in batch 0, under the whole plan's ASG id.
+                const FlowPlan &plan = plans[j];
+                const auto asg_id =
+                    static_cast<FlowId>(plan.flows.size());
+                run.segBegin = s.begin;
+                run.segLen = s.length();
+                std::uint32_t b = 0;
+                for (std::size_t first = 0;
+                     first < plan.flows.size() && !cancel.cancelled();
+                     first += batch_cap, ++b) {
+                    const std::size_t last = std::min(
+                        plan.flows.size(),
+                        first + static_cast<std::size_t>(batch_cap));
+                    FlowPlan sub;
+                    sub.flows.assign(plan.flows.begin() + first,
+                                     plan.flows.begin() + last);
+                    SegmentRun part = runEnumSegment(
+                        cnfa, sub, b == 0 ? asg : no_asg,
+                        input.ptr(s.begin), s.begin, s.length(),
+                        options, scratch, asg_id, &cancel);
+                    if (b == 0)
+                        run.asgIndex = part.asgIndex;
+                    for (auto &rec : part.flows) {
+                        rec.batch = b;
+                        run.flows.push_back(std::move(rec));
+                    }
                 }
+                batches = std::max(1u, b);
             }
-            seg_batches[j] = b;
-            result.svcBatches = std::max(result.svcBatches, b);
-            obs::metrics().add("runner.svc_batches", b);
-            runs.push_back(std::move(merged));
+            if (cancel.cancelled())
+                return Status::error(ErrorCode::DeadlineExceeded,
+                                     "segment ", j,
+                                     " cancelled by the watchdog");
+            runs[j] = std::move(run);
+            seg_batches[j] = batches;
+            return Status();
+        });
+
+    // Ordered reduction over the execute phase.
+    std::vector<std::uint8_t> seg_failed(segs.size(), 0);
+    std::vector<std::uint8_t> seg_retried(segs.size(), 0);
+    for (std::size_t i = 0; i < task_reports.size(); ++i) {
+        const std::size_t j = first_segment + i;
+        const auto &tr = task_reports[i];
+        seg_retried[j] = tr.retried ? 1 : 0;
+        if (!tr.status.ok()) {
+            seg_failed[j] = 1;
+            seg_batches[j] = 1;
+            warn("segment ", j, " failed after ", tr.attempts,
+                 " attempts (", tr.status.message(),
+                 "); recovering it from the sequential oracle");
         }
-        for (const auto &rec : runs.back().flows) {
+        result.svcBatches =
+            std::max(result.svcBatches, seg_batches[j]);
+        if (seg_batches[j] > 1)
+            obs::metrics().add("runner.svc_batches", seg_batches[j]);
+    }
+    if (sink)
+        sink->end({{"segments", static_cast<double>(segs.size())},
+                   {"threads",
+                    static_cast<double>(result.threadsUsed)},
+                   {"max_batches",
+                    static_cast<double>(result.svcBatches)}});
+
+    // --- Composition chain ------------------------------------------
+    if (sink)
+        sink->begin("pap.compose");
+    std::vector<SegmentTruth> truths(segs.size());
+    const std::vector<StateId> no_truth;
+    std::uint64_t flow_transitions = frontier.flowTransitions;
+    result.flowSymbolCycles = frontier.flowSymbolCycles;
+    result.segmentsRetried = frontier.segmentsRetried;
+    result.segmentsRecovered = frontier.segmentsRecovered;
+    const std::uint64_t base_entries = frontier.papEntries;
+    const std::vector<ReportEvent> base_reports = frontier.reports;
+    std::vector<StateId> prev_final = frontier.finalActive;
+
+    /** Timing-model input for a composed segment (also checkpointed). */
+    const auto build_timing = [&](std::size_t j) {
+        SegmentTimingInput t;
+        t.segLen = segs[j].length();
+        t.totalEntries = truths[j].totalEntries;
+        t.aliveEnumFlowsAtEnd = truths[j].aliveEnumFlowsAtEnd;
+        t.hasEnumFlows =
+            j > 0 && !plans[j].flows.empty() && !seg_failed[j];
+        t.numBatches = seg_batches[j];
+        t.batchReloadCycles = config.timing.stateVectorUploadCycles;
+        for (const auto &rec : runs[j].flows) {
+            FlowTimingInfo info;
+            info.kind = rec.kind;
+            info.symbolsProcessed = rec.symbolsProcessed;
+            info.batch = rec.batch;
+            info.isTrue =
+                rec.kind != FlowKind::Enum ||
+                (rec.id < truths[j].flowTrue.size() &&
+                 truths[j].flowTrue[rec.id] != 0);
+            t.flows.push_back(info);
+        }
+        return t;
+    };
+
+    for (std::size_t j = first_segment; j < segs.size(); ++j) {
+        const Segment &s = segs[j];
+        // A dropped inter-segment downlink loses the predecessor's
+        // true final active set; composition then judges this
+        // segment's paths against an empty T (the verification oracle
+        // catches the damage downstream).
+        const bool truth_lost =
+            j > 0 && injector && injector->onFivDownload();
+
+        if (seg_failed[j]) {
+            // Per-segment oracle continuation: the segment exhausted
+            // its retries, so recompute exactly this slice of input
+            // from the composition frontier with the sequential
+            // engine. Timing degrades to a single golden-like flow.
+            ++result.segmentsRecovered;
+            result.degraded = true;
+            obs::metrics().add("exec.segments.recovered");
+            EngineScratch scratch(nfa.size());
+            FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
+            engine.reset(j == 0 ? cnfa.initialActive() : prev_final,
+                         s.begin);
+            engine.run(input.ptr(s.begin), s.length());
+            FlowRecord rec;
+            rec.id = 0;
+            rec.kind = FlowKind::Golden;
+            rec.symbolsProcessed = s.length();
+            rec.cause = DeathCause::RanToEnd;
+            rec.finalSnapshot = engine.snapshot();
+            rec.counters = engine.counters();
+            rec.reports = engine.takeReports();
+            runs[j] = SegmentRun{};
+            runs[j].segBegin = s.begin;
+            runs[j].segLen = s.length();
+            runs[j].flows.push_back(std::move(rec));
+            truths[j] = composeGolden(runs[j]);
+            // The oracle repaired whatever the injected worker faults
+            // broke; close their detected/recovered loop.
+            if (injector &&
+                task_reports[j - first_segment].faultsInjected > 0)
+                injector->markRecovered(
+                    task_reports[j - first_segment].faultsInjected);
+        } else if (j == 0) {
+            truths[0] = composeGolden(runs[0]);
+        } else {
+            truths[j] = composeEnum(cnfa, comps, plans[j], runs[j],
+                                    truth_lost ? no_truth : prev_final);
+        }
+        prev_final = truths[j].finalActive;
+        if (seg_retried[j])
+            ++result.segmentsRetried;
+        for (const auto &rec : runs[j].flows) {
             flow_transitions += rec.counters.matches;
             result.flowSymbolCycles += rec.counters.symbols;
+        }
+
+        if (checkpointing) {
+            frontier.nextSegment = static_cast<std::uint32_t>(j + 1);
+            frontier.finalActive = prev_final;
+            frontier.reports.insert(frontier.reports.end(),
+                                    truths[j].trueReports.begin(),
+                                    truths[j].trueReports.end());
+            frontier.papEntries += truths[j].totalEntries;
+            frontier.flowTransitions = flow_transitions;
+            frontier.flowSymbolCycles = result.flowSymbolCycles;
+            frontier.segmentsRetried = result.segmentsRetried;
+            frontier.segmentsRecovered = result.segmentsRecovered;
+            frontier.rngState = injector
+                                    ? injector->rngState()
+                                    : std::array<std::uint64_t, 4>{};
+            exec::SegmentCheckpoint cp;
+            cp.timing = build_timing(j);
+            for (const auto &rec : runs[j].flows) {
+                if (rec.kind != FlowKind::Enum)
+                    continue;
+                switch (rec.cause) {
+                  case DeathCause::Deactivated: ++cp.deactivated; break;
+                  case DeathCause::Converged: ++cp.converged; break;
+                  case DeathCause::RanToEnd: ++cp.ranToEnd; break;
+                }
+            }
+            for (const auto t : truths[j].pathTrue)
+                cp.truePaths += t;
+            cp.recovered = seg_failed[j];
+            frontier.segments.push_back(std::move(cp));
+            const Status saved = exec::saveCheckpoint(
+                options.checkpointPath, frontier);
+            if (!saved.ok())
+                warn("checkpointing degraded: ", saved.message());
+        }
+
+        if (options.stopAfterSegment >= 0 &&
+            j == static_cast<std::uint64_t>(options.stopAfterSegment) &&
+            j + 1 < segs.size()) {
+            // Simulated kill for crash/resume tests: stop mid-chain
+            // with the checkpoint (if any) on disk.
+            if (sink)
+                sink->end();
+            result.status = Status::error(
+                ErrorCode::Cancelled, "run stopped after segment ", j,
+                " (stop-after-segment)",
+                checkpointing ? "; checkpoint saved" : "");
+            recordRunMetrics(result);
+            return result;
         }
     }
     result.transitionRatio =
@@ -374,31 +645,10 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                     : 1.0;
     result.flowTransitions = flow_transitions;
     result.seqTransitions = seq.matches;
-    if (sink)
-        sink->end({{"segments", static_cast<double>(segs.size())},
-                   {"max_batches",
-                    static_cast<double>(result.svcBatches)}});
 
-    // --- Composition chain ------------------------------------------
-    if (sink)
-        sink->begin("pap.compose");
-    std::vector<SegmentTruth> truths;
-    truths.reserve(segs.size());
-    truths.push_back(composeGolden(runs[0]));
-    const std::vector<StateId> no_truth;
-    for (std::size_t j = 1; j < segs.size(); ++j) {
-        // A dropped inter-segment downlink loses the predecessor's
-        // true final active set; composition then judges this
-        // segment's paths against an empty T (the verification oracle
-        // catches the damage downstream).
-        const bool truth_lost = injector && injector->onFivDownload();
-        truths.push_back(composeEnum(
-            cnfa, comps, plans[j], runs[j],
-            truth_lost ? no_truth : truths[j - 1].finalActive));
-    }
-
-    std::uint64_t pap_entries = 0;
-    for (std::size_t j = 0; j < truths.size(); ++j) {
+    std::uint64_t pap_entries = base_entries;
+    result.reports = base_reports;
+    for (std::size_t j = first_segment; j < segs.size(); ++j) {
         pap_entries += truths[j].totalEntries;
         result.reports.insert(result.reports.end(),
                               truths[j].trueReports.begin(),
@@ -451,27 +701,12 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // --- Timeline -----------------------------------------------------
     if (sink)
         sink->begin("pap.timeline");
+    // Resumed segments replay their checkpointed timing records, so a
+    // killed-and-resumed run reproduces the same per-figure numbers.
     std::vector<SegmentTimingInput> timing_in(segs.size());
-    for (std::size_t j = 0; j < segs.size(); ++j) {
-        timing_in[j].segLen = segs[j].length();
-        timing_in[j].totalEntries = truths[j].totalEntries;
-        timing_in[j].aliveEnumFlowsAtEnd = truths[j].aliveEnumFlowsAtEnd;
-        timing_in[j].hasEnumFlows = j > 0 && !plans[j].flows.empty();
-        timing_in[j].numBatches = seg_batches[j];
-        timing_in[j].batchReloadCycles =
-            config.timing.stateVectorUploadCycles;
-        for (const auto &rec : runs[j].flows) {
-            FlowTimingInfo info;
-            info.kind = rec.kind;
-            info.symbolsProcessed = rec.symbolsProcessed;
-            info.batch = rec.batch;
-            info.isTrue =
-                rec.kind != FlowKind::Enum ||
-                (rec.id < truths[j].flowTrue.size() &&
-                 truths[j].flowTrue[rec.id] != 0);
-            timing_in[j].flows.push_back(info);
-        }
-    }
+    for (std::size_t j = 0; j < segs.size(); ++j)
+        timing_in[j] = j < first_segment ? frontier.segments[j].timing
+                                         : build_timing(j);
     const TimelineResult timeline =
         simulateTimeline(timing_in, result.seqReportEvents, input.size(),
                          options, config.timing);
@@ -491,7 +726,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             ? 100.0 * static_cast<double>(timeline.switchCycles) /
                   static_cast<double>(timeline.busyCycles)
             : 0.0;
-    // Per-segment diagnostics.
+    // Per-segment diagnostics (resumed segments from the checkpoint).
     result.segments.resize(segs.size());
     for (std::size_t j = 0; j < segs.size(); ++j) {
         auto &diag = result.segments[j];
@@ -500,20 +735,29 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         diag.flows = static_cast<std::uint32_t>(plans[j].flows.size());
         diag.totalPaths =
             static_cast<std::uint32_t>(plans[j].paths.size());
-        for (const auto t : truths[j].pathTrue)
-            diag.truePaths += t;
-        for (const auto &rec : runs[j].flows) {
-            if (rec.kind != FlowKind::Enum)
-                continue;
-            switch (rec.cause) {
-              case DeathCause::Deactivated: ++diag.deactivated; break;
-              case DeathCause::Converged: ++diag.converged; break;
-              case DeathCause::RanToEnd: ++diag.ranToEnd; break;
+        if (j < first_segment) {
+            const auto &cp = frontier.segments[j];
+            diag.deactivated = cp.deactivated;
+            diag.converged = cp.converged;
+            diag.ranToEnd = cp.ranToEnd;
+            diag.truePaths = cp.truePaths;
+            diag.entries = cp.timing.totalEntries;
+        } else {
+            for (const auto t : truths[j].pathTrue)
+                diag.truePaths += t;
+            for (const auto &rec : runs[j].flows) {
+                if (rec.kind != FlowKind::Enum)
+                    continue;
+                switch (rec.cause) {
+                  case DeathCause::Deactivated: ++diag.deactivated; break;
+                  case DeathCause::Converged: ++diag.converged; break;
+                  case DeathCause::RanToEnd: ++diag.ranToEnd; break;
+                }
             }
+            diag.entries = truths[j].totalEntries;
         }
         diag.tDone = timeline.tDone[j];
         diag.tResolve = timeline.tResolve[j];
-        diag.entries = truths[j].totalEntries;
     }
 
     result.contextSwitches =
@@ -539,6 +783,10 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         sink->end({{"pap_cycles",
                     static_cast<double>(result.papCycles)},
                    {"speedup", result.speedup}});
+
+    // The run completed; its checkpoint would only confuse a rerun.
+    if (checkpointing)
+        exec::removeCheckpoint(options.checkpointPath);
 
     recordRunMetrics(result);
     traceSimulatedTimeline(result);

@@ -107,11 +107,29 @@ struct PapResult
      */
     bool recovered = false;
     /**
-     * Non-Ok only when the run could not produce a result at all
-     * (currently: OverflowPolicy::Fail with an over-capacity plan →
-     * CapacityExceeded). All other fields are defaulted in that case.
+     * Non-Ok only when the run could not produce a result at all:
+     * OverflowPolicy::Fail with an over-capacity plan →
+     * CapacityExceeded, or the stopAfterSegment test hook →
+     * Cancelled (checkpoint left on disk). All other fields are
+     * defaulted in that case.
      */
     Status status;
+
+    // Hardened host-execution census (pap/exec).
+    /** Host threads the execute phase ran on. */
+    std::uint32_t threadsUsed = 1;
+    /** Segments that needed at least one retry attempt. */
+    std::uint32_t segmentsRetried = 0;
+    /**
+     * Segments whose retries were exhausted and whose result was
+     * recomputed from the sequential oracle at compose time. Implies
+     * degraded (their timing is modeled as a single golden flow).
+     */
+    std::uint32_t segmentsRecovered = 0;
+    /** True when the run continued from an on-disk checkpoint. */
+    bool resumedFromCheckpoint = false;
+    /** Segments skipped because the checkpoint had composed them. */
+    std::uint32_t resumedSegments = 0;
 
     /** Per-segment diagnostics (input order). */
     struct SegmentDiag

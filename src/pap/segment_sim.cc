@@ -14,7 +14,8 @@ namespace pap {
 SegmentRun
 runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
                  std::uint64_t seg_begin, std::uint64_t seg_len,
-                 EngineScratch &scratch, FaultInjector *injector)
+                 EngineScratch &scratch, FaultInjector *injector,
+                 const exec::CancellationToken *cancel)
 {
     PAP_TRACE_SCOPE("segment.golden");
     obs::metrics().add("segment_sim.flows.golden");
@@ -24,7 +25,19 @@ runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
 
     FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
     engine.reset(cnfa.initialActive(), seg_begin);
-    engine.run(data, seg_len);
+    if (!cancel) {
+        engine.run(data, seg_len);
+    } else {
+        // Chunked so a watchdog cancellation is honored promptly.
+        constexpr std::uint64_t kCancelCheckChunk = 4096;
+        std::uint64_t pos = 0;
+        while (pos < seg_len && !cancel->cancelled()) {
+            const std::uint64_t n =
+                std::min(kCancelCheckChunk, seg_len - pos);
+            engine.run(data + pos, n);
+            pos += n;
+        }
+    }
 
     FlowRecord rec;
     rec.id = 0;
@@ -57,7 +70,7 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
                const std::vector<StateId> &asg_seed, const Symbol *data,
                std::uint64_t seg_begin, std::uint64_t seg_len,
                const PapOptions &options, EngineScratch &scratch,
-               FlowId asg_flow_id)
+               FlowId asg_flow_id, const exec::CancellationToken *cancel)
 {
     PAP_TRACE_SCOPE("segment.enumerate");
     FaultInjector *injector = options.faultInjector;
@@ -102,6 +115,8 @@ runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
     std::uint64_t processed = 0;
     std::uint64_t round = 0;
     while (processed < seg_len) {
+        if (cancel && cancel->cancelled())
+            break; // partial run; the hardened driver discards it
         const std::uint64_t round_end =
             std::min(processed + quantum, seg_len);
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "engine/functional_engine.h"
+#include "pap/exec/cancellation.h"
 #include "pap/flow_plan.h"
 #include "pap/options.h"
 
@@ -83,12 +84,17 @@ class FaultInjector;
 /**
  * Run the first segment: a single golden flow with full start-state
  * machinery, seeded with the StartOfData states. @p injector, when
- * non-null, may drop or truncate the flow's report buffer.
+ * non-null, may drop or truncate the flow's report buffer. @p cancel,
+ * when non-null, is polled cooperatively (the run is chunked); a
+ * cancelled run returns early with a partial record the caller must
+ * discard.
  */
 SegmentRun runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
                             std::uint64_t seg_begin, std::uint64_t seg_len,
                             EngineScratch &scratch,
-                            FaultInjector *injector = nullptr);
+                            FaultInjector *injector = nullptr,
+                            const exec::CancellationToken *cancel =
+                                nullptr);
 
 /**
  * Run a later segment: the ASG flow (if @p asg_seed is non-empty) plus
@@ -99,6 +105,9 @@ SegmentRun runGoldenSegment(const CompiledNfa &cnfa, const Symbol *data,
  * @p asg_flow_id names the ASG flow's SVC entry; pass kInvalidFlow to
  * use plan.flows.size() (correct when @p plan is a whole plan rather
  * than one SVC batch of a larger one).
+ *
+ * @p cancel, when non-null, is polled once per TDM round; a cancelled
+ * run returns early with a partial record the caller must discard.
  */
 SegmentRun runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
                           const std::vector<StateId> &asg_seed,
@@ -106,7 +115,9 @@ SegmentRun runEnumSegment(const CompiledNfa &cnfa, const FlowPlan &plan,
                           std::uint64_t seg_len,
                           const PapOptions &options,
                           EngineScratch &scratch,
-                          FlowId asg_flow_id = kInvalidFlow);
+                          FlowId asg_flow_id = kInvalidFlow,
+                          const exec::CancellationToken *cancel =
+                              nullptr);
 
 } // namespace pap
 

@@ -7,6 +7,8 @@
 #include "engine/functional_engine.h"
 #include "nfa/analysis.h"
 #include "obs/metrics.h"
+#include "pap/exec/driver.h"
+#include "pap/exec/worker_pool.h"
 #include "pap/partitioner.h"
 #include "pap/runner.h"
 
@@ -79,7 +81,10 @@ runSpeculative(const Nfa &nfa, const InputTrace &input,
 
     // Phase 1 (all segments concurrently): warm up on the last W
     // symbols before the segment, predict the start set, and run the
-    // segment speculatively from the prediction.
+    // segment speculatively from the prediction. Segments are
+    // independent, so they run on the hardened worker pool; each task
+    // writes only its own spec[j] slot, keeping results identical for
+    // every thread count.
     struct SegmentSpec
     {
         std::vector<StateId> predicted;
@@ -89,34 +94,65 @@ runSpeculative(const Nfa &nfa, const InputTrace &input,
     };
     std::vector<SegmentSpec> spec(segs.size());
 
-    for (std::size_t j = 0; j < segs.size(); ++j) {
-        FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
+    const auto speculate = [&](std::size_t j, EngineScratch &s,
+                               const exec::CancellationToken *cancel) {
+        spec[j] = SegmentSpec{}; // retries start from a clean slot
+        FunctionalEngine engine(cnfa, /*starts=*/true, &s);
         if (j == 0) {
             // The first segment needs no speculation.
             engine.reset(cnfa.initialActive(), 0);
-        } else {
-            const std::uint64_t from =
-                std::max(segs[j - 1].begin,
-                         segs[j].begin >= options.warmupWindow
-                             ? segs[j].begin - options.warmupWindow
-                             : 0);
-            engine.reset({}, from);
-            engine.run(input.ptr(from), segs[j].begin - from);
-            spec[j].warmupSymbols = segs[j].begin - from;
-            spec[j].predicted = engine.snapshot();
-            // Fresh engine for the segment itself so counters and
-            // reports start clean; activity carries over via seed.
-            FunctionalEngine seg_engine(cnfa, /*starts=*/true,
-                                        &scratch);
-            seg_engine.reset(spec[j].predicted, segs[j].begin);
-            seg_engine.run(input.ptr(segs[j].begin), segs[j].length());
-            spec[j].specFinal = seg_engine.snapshot();
-            spec[j].specReports = seg_engine.takeReports();
-            continue;
+            engine.run(input.ptr(segs[0].begin), segs[0].length());
+            if (cancel && cancel->cancelled())
+                return false;
+            spec[0].specFinal = engine.snapshot();
+            spec[0].specReports = engine.takeReports();
+            return true;
         }
-        engine.run(input.ptr(segs[j].begin), segs[j].length());
-        spec[j].specFinal = engine.snapshot();
-        spec[j].specReports = engine.takeReports();
+        const std::uint64_t from =
+            std::max(segs[j - 1].begin,
+                     segs[j].begin >= options.warmupWindow
+                         ? segs[j].begin - options.warmupWindow
+                         : 0);
+        engine.reset({}, from);
+        engine.run(input.ptr(from), segs[j].begin - from);
+        spec[j].warmupSymbols = segs[j].begin - from;
+        spec[j].predicted = engine.snapshot();
+        // Fresh engine for the segment itself so counters and
+        // reports start clean; activity carries over via seed.
+        FunctionalEngine seg_engine(cnfa, /*starts=*/true, &s);
+        seg_engine.reset(spec[j].predicted, segs[j].begin);
+        seg_engine.run(input.ptr(segs[j].begin), segs[j].length());
+        if (cancel && cancel->cancelled())
+            return false;
+        spec[j].specFinal = seg_engine.snapshot();
+        spec[j].specReports = seg_engine.takeReports();
+        return true;
+    };
+
+    exec::HardenedExecOptions exec_opt;
+    exec_opt.threads = exec::WorkerPool::resolveThreads(options.threads);
+    result.threadsUsed = exec_opt.threads;
+    const auto task_reports = exec::runHardened(
+        exec_opt, segs.size(),
+        [&](std::size_t j,
+            const exec::CancellationToken &cancel) -> Status {
+            EngineScratch task_scratch(nfa.size());
+            if (!speculate(j, task_scratch, &cancel))
+                return Status::error(ErrorCode::DeadlineExceeded,
+                                     "speculative segment ", j,
+                                     " cancelled by the watchdog");
+            return Status();
+        });
+    for (std::size_t j = 0; j < segs.size(); ++j) {
+        if (task_reports[j].status.ok())
+            continue;
+        // Retries exhausted: recompute the slot inline (sequential
+        // oracle continuation of the speculative phase).
+        warn("speculative segment ", j, " failed (",
+             task_reports[j].status.message(),
+             "); recomputing it inline");
+        obs::metrics().add("exec.segments.recovered");
+        speculate(j, scratch, nullptr);
     }
 
     // Phase 2 (truth chain): validate each prediction against the

@@ -47,6 +47,11 @@ struct SpeculationOptions
     double reportCostCyclesPerEvent = 0.05;
     /** Routing-constraint hint (see PapOptions). */
     std::uint32_t routingMinHalfCores = 1;
+    /**
+     * Host threads for the speculative phase (0 = one per hardware
+     * thread). Results are identical for every thread count.
+     */
+    std::uint32_t threads = 1;
 };
 
 /** Outcome of a speculative parallel run. */
@@ -70,6 +75,8 @@ struct SpeculationResult
      * wrong answer for the caller).
      */
     bool recovered = false;
+    /** Host threads the speculative phase ran on. */
+    std::uint32_t threadsUsed = 1;
 };
 
 /**

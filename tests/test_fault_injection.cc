@@ -60,13 +60,28 @@ TEST(FaultSpec, ParsesKindsCountsAndRates)
     EXPECT_EQ(fi.injected(), 0u);
 }
 
-TEST(FaultSpec, AllArmsEveryKind)
+TEST(FaultSpec, AllArmsEveryHardwareKind)
 {
     auto made = FaultInjector::fromSpec("all:4", 7);
     ASSERT_TRUE(made.ok());
-    for (std::size_t k = 0; k < kFaultKindCount; ++k)
+    for (std::size_t k = 0; k < kWorkerFaultFirst; ++k)
         EXPECT_EQ(made.value().remaining(static_cast<FaultKind>(k)),
                   4u);
+    // The host worker kinds only arm when named explicitly, so "all"
+    // keeps its classic hardware-fault semantics.
+    for (std::size_t k = kWorkerFaultFirst; k < kFaultKindCount; ++k)
+        EXPECT_EQ(made.value().remaining(static_cast<FaultKind>(k)),
+                  0u);
+}
+
+TEST(FaultSpec, WorkerKindsArmExplicitly)
+{
+    auto made =
+        FaultInjector::fromSpec("stall-worker:2,crash-worker:3:0.5", 7);
+    ASSERT_TRUE(made.ok());
+    EXPECT_EQ(made.value().remaining(FaultKind::StallWorker), 2u);
+    EXPECT_EQ(made.value().remaining(FaultKind::CrashWorker), 3u);
+    EXPECT_EQ(made.value().remaining(FaultKind::DropFiv), 0u);
 }
 
 TEST(FaultSpec, RejectsMalformedSpecs)

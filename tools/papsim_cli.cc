@@ -72,10 +72,15 @@ usage()
         "           [--verbose] [--metrics-json=PATH]\n"
         "           [--trace-out=PATH] [--profile]\n"
         "           [--overflow=batch|sequential|fail]\n"
+        "           [--threads=N] [--checkpoint=PATH]\n"
+        "           [--deadline-ms=X] [--max-retries=N]\n"
+        "           [--stop-after-segment=N]\n"
         "           [--inject-faults=SPEC] [--fault-seed=N]\n"
-        "           SPEC: kind[:count[:rate]],... with kinds\n"
+        "           --threads=0 uses one thread per hardware thread;\n"
+        "           PAP_THREADS sets the default when the flag is\n"
+        "           absent. SPEC: kind[:count[:rate]],... with kinds\n"
         "           corrupt-sv evict-svc drop-report truncate-report\n"
-        "           drop-fiv all\n"
+        "           drop-fiv stall-worker crash-worker all\n"
         "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
         "  bench    <name>\n");
     return 2;
@@ -119,6 +124,21 @@ parseU32(const std::string &s, std::uint32_t *out)
     if (!parseU64(s, &wide) || wide > 0xffffffffull)
         return false;
     *out = static_cast<std::uint32_t>(wide);
+    return true;
+}
+
+/** Strict full-string floating-point parse. */
+bool
+parseF64(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const double val = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end == s.c_str() || *end != '\0')
+        return false;
+    *out = val;
     return true;
 }
 
@@ -390,6 +410,21 @@ cmdRun(const std::vector<std::string> &args)
         !parseU64(v, &max_reports))
         return fail("--max-reports needs an integer, got '" + v + "'");
 
+    // Host thread count: the flag wins over the PAP_THREADS
+    // environment variable; 0 means one thread per hardware thread.
+    std::uint32_t threads = 1;
+    if (flagValue(args, "--threads", &v)) {
+        if (!parseU32(v, &threads))
+            return fail("--threads needs a non-negative integer "
+                        "(0 = one per hardware thread), got '" +
+                        v + "'");
+    } else if (const char *env = std::getenv("PAP_THREADS")) {
+        if (!parseU32(env, &threads))
+            return fail("PAP_THREADS needs a non-negative integer "
+                        "(0 = one per hardware thread), got '" +
+                        std::string(env) + "'");
+    }
+
     std::vector<ReportEvent> reports;
     if (flagValue(args, "--sequential", &v)) {
         const SequentialResult r = runSequential(nfa, trace);
@@ -401,6 +436,7 @@ cmdRun(const std::vector<std::string> &args)
         reports = r.reports;
     } else if (flagValue(args, "--spec", &v)) {
         SpeculationOptions opt;
+        opt.threads = threads;
         if (!v.empty() && !parseU32(v, &opt.warmupWindow))
             return fail("--spec window needs an integer, got '" + v +
                         "'");
@@ -415,10 +451,27 @@ cmdRun(const std::vector<std::string> &args)
         reports = r.reports;
     } else {
         PapOptions opt;
+        opt.threads = threads;
         if (flagValue(args, "--quantum", &v) &&
             (!parseU32(v, &opt.tdmQuantum) || opt.tdmQuantum == 0))
             return fail("--quantum needs a positive integer, got '" +
                         v + "'");
+        if (flagValue(args, "--deadline-ms", &v) &&
+            !parseF64(v, &opt.segmentDeadlineMs))
+            return fail("--deadline-ms needs a number (negative "
+                        "disables the watchdog), got '" + v + "'");
+        if (flagValue(args, "--max-retries", &v) &&
+            !parseU32(v, &opt.maxSegmentRetries))
+            return fail("--max-retries needs an integer, got '" + v +
+                        "'");
+        pathFlag(args, "--checkpoint", &opt.checkpointPath);
+        if (flagValue(args, "--stop-after-segment", &v)) {
+            std::uint64_t stop = 0;
+            if (!parseU64(v, &stop) || stop > 0x7fffffffull)
+                return fail("--stop-after-segment needs a segment "
+                            "index, got '" + v + "'");
+            opt.stopAfterSegment = static_cast<std::int64_t>(stop);
+        }
         if (flagValue(args, "--overflow", &v)) {
             if (v == "batch")
                 opt.overflowPolicy = OverflowPolicy::Batch;
@@ -486,6 +539,16 @@ cmdRun(const std::vector<std::string> &args)
             std::printf("  SVC overflow: ran in up to %u batches per "
                         "segment\n",
                         r.svcBatches);
+        if (r.resumedFromCheckpoint)
+            std::printf("  resumed from checkpoint: %u segments "
+                        "already composed\n",
+                        r.resumedSegments);
+        if (r.threadsUsed != 1 || r.segmentsRetried > 0 ||
+            r.segmentsRecovered > 0)
+            std::printf("  exec: %u host threads, %u segments "
+                        "retried, %u recovered\n",
+                        r.threadsUsed, r.segmentsRetried,
+                        r.segmentsRecovered);
         if (injector)
             std::printf("  %s\n", injector->summary().c_str());
         reports = r.reports;
