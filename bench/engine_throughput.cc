@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Host-side throughput of the two EngineBackend implementations:
+ * symbols/sec for the sparse FunctionalEngine vs the dense
+ * BitsetEngine across state counts and active densities. Emits
+ * BENCH_engine.json (path overridable as argv[1]) so the numbers seed
+ * the repo's perf trajectory.
+ *
+ * Expected shape: the dense backend wins where successor rows span few
+ * words and many states are active (every step is a handful of word
+ * ORs); the sparse backend wins on large automata with a tiny active
+ * fraction, where touching whole rows wastes bandwidth. That crossover
+ * is what kDenseAutoMaxStates encodes for --engine=auto.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/charclass.h"
+#include "common/rng.h"
+#include "engine/bitset_engine.h"
+#include "engine/compiled_nfa.h"
+#include "engine/dense_nfa.h"
+#include "engine/functional_engine.h"
+#include "engine/trace.h"
+#include "nfa/nfa.h"
+
+namespace pap {
+namespace {
+
+constexpr const char *kAlphabet = "abcdefgh";
+
+/**
+ * Synthetic automaton with a controllable steady-state active density.
+ * Every state self-loops and matches @p label_octiles of the 8 input
+ * symbols, so once seeded the active fraction settles near
+ * label_octiles/8; random fan-out edges keep the successor rows
+ * realistic instead of diagonal.
+ */
+Nfa
+syntheticNfa(std::size_t states, int label_octiles,
+             std::size_t driver_stride, Rng &rng)
+{
+    Nfa nfa("synthetic");
+    for (std::size_t q = 0; q < states; ++q) {
+        CharClass label;
+        if (driver_stride && q % driver_stride == 0) {
+            // Driver states match everything: a persistent live core
+            // that keeps the active set small but never empty.
+            label = CharClass::all();
+        } else {
+            // A distinct random subset of label_octiles symbols.
+            for (int k = 0; k < label_octiles;) {
+                const Symbol s =
+                    static_cast<Symbol>(static_cast<unsigned char>(
+                        kAlphabet[rng.nextBelow(8)]));
+                if (!label.test(s)) {
+                    label.set(s);
+                    ++k;
+                }
+            }
+        }
+        nfa.addState(label, StartType::None, /*reporting=*/false);
+    }
+    for (StateId q = 0; q < states; ++q) {
+        nfa.addEdge(q, q);
+        for (int e = 0; e < 3; ++e)
+            nfa.addEdge(q, static_cast<StateId>(rng.nextBelow(states)));
+    }
+    nfa.finalize();
+    return nfa;
+}
+
+/** A trace of random symbols from the 8-letter bench alphabet. */
+InputTrace
+randomTrace(Rng &rng, std::size_t len)
+{
+    std::vector<Symbol> data(len);
+    for (auto &s : data)
+        s = static_cast<Symbol>(
+            static_cast<unsigned char>(kAlphabet[rng.nextBelow(8)]));
+    return InputTrace(std::move(data));
+}
+
+/** Seed vector: every @p stride-th state. */
+std::vector<StateId>
+seedStates(std::size_t states, std::size_t stride)
+{
+    std::vector<StateId> seed;
+    for (std::size_t q = 0; q < states; q += stride)
+        seed.push_back(static_cast<StateId>(q));
+    return seed;
+}
+
+struct Measurement
+{
+    double symbolsPerSec = 0.0;
+    double activeDensity = 0.0; // mean active states / total states
+};
+
+/** Run @p engine over the trace repeatedly for ~the budget. */
+Measurement
+measure(EngineBackend &engine, const std::vector<StateId> &seed,
+        const InputTrace &trace, std::size_t states)
+{
+    using clock = std::chrono::steady_clock;
+    const double budget_sec = std::getenv("PAP_QUICK") ? 0.05 : 0.25;
+    engine.reset(seed, 0);
+    engine.run(trace.begin(), trace.size()); // warm-up, reach steady state
+    engine.takeReports();
+
+    std::uint64_t symbols = 0;
+    const auto t0 = clock::now();
+    double elapsed = 0.0;
+    const std::uint64_t enables_before = engine.counters().enables;
+    const std::uint64_t symbols_before = engine.counters().symbols;
+    do {
+        engine.run(trace.begin(), trace.size());
+        engine.takeReports();
+        symbols += trace.size();
+        elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (elapsed < budget_sec);
+
+    Measurement m;
+    m.symbolsPerSec = static_cast<double>(symbols) / elapsed;
+    const std::uint64_t enables =
+        engine.counters().enables - enables_before;
+    const std::uint64_t stepped =
+        engine.counters().symbols - symbols_before;
+    if (stepped && states)
+        m.activeDensity = static_cast<double>(enables) /
+                          (static_cast<double>(stepped) *
+                           static_cast<double>(states));
+    return m;
+}
+
+struct Row
+{
+    std::size_t states;
+    const char *workload;
+    double density;
+    double sparse;
+    double dense;
+};
+
+} // namespace
+} // namespace pap
+
+int
+main(int argc, char **argv)
+{
+    using namespace pap;
+    bench::ObsSession obs("engine_throughput");
+    bench::printHeader("Engine throughput: sparse vs dense backend",
+                       "Section 2.1 enable&match datapath, host model");
+
+    const char *out_path =
+        argc > 1 ? argv[1] : "BENCH_engine.json";
+    const std::size_t trace_len =
+        std::getenv("PAP_QUICK") ? (16u << 10) : (64u << 10);
+
+    struct Config
+    {
+        std::size_t states;
+        int octiles; // label width: octiles/8 ~ target density
+        std::size_t driverStride; // all-matching core (0 = none)
+        std::size_t seedStride;   // seed every seedStride-th state
+        const char *workload;
+    };
+    // High density: wide labels, everything seeded. Low density: a
+    // sparse core of always-matching drivers among narrow-label states
+    // — the regime large rulesets live in.
+    const std::vector<Config> configs = {
+        {64, 7, 0, 1, "high-density"},
+        {256, 7, 0, 1, "high-density"},
+        {1024, 7, 0, 1, "high-density"},
+        {4096, 7, 0, 1, "high-density"},
+        {16384, 7, 0, 1, "high-density"},
+        {1024, 1, 64, 64, "low-density"},
+        {4096, 1, 64, 64, "low-density"},
+        {16384, 1, 64, 64, "low-density"},
+    };
+
+    std::vector<Row> rows;
+    std::printf("%8s  %-12s  %8s  %14s  %14s  %8s\n", "states",
+                "workload", "density", "sparse sym/s", "dense sym/s",
+                "dense/sp");
+    for (const Config &cfg : configs) {
+        Rng rng(0xe47 + cfg.states + cfg.octiles);
+        const Nfa nfa = syntheticNfa(cfg.states, cfg.octiles,
+                                     cfg.driverStride, rng);
+        const CompiledNfa cnfa(nfa);
+        const DenseNfa dnfa(cnfa);
+        const InputTrace trace = randomTrace(rng, trace_len);
+        const std::vector<StateId> seed =
+            seedStates(cfg.states, cfg.seedStride);
+
+        EngineScratch scratch(nfa.size());
+        FunctionalEngine sparse(cnfa, /*starts=*/false, &scratch);
+        BitsetEngine dense(dnfa, /*starts=*/false);
+        const Measurement ms =
+            measure(sparse, seed, trace, cfg.states);
+        const Measurement md = measure(dense, seed, trace, cfg.states);
+
+        rows.push_back(Row{cfg.states, cfg.workload, ms.activeDensity,
+                           ms.symbolsPerSec, md.symbolsPerSec});
+        std::printf("%8zu  %-12s  %7.1f%%  %14.3e  %14.3e  %7.2fx\n",
+                    cfg.states, cfg.workload, 100.0 * ms.activeDensity,
+                    ms.symbolsPerSec, md.symbolsPerSec,
+                    md.symbolsPerSec / ms.symbolsPerSec);
+    }
+
+    // The crossover the auto threshold encodes: largest state count
+    // where the dense backend still wins on the high-density workload.
+    std::size_t dense_wins_up_to = 0;
+    for (const Row &r : rows)
+        if (std::string(r.workload) == "high-density" &&
+            r.dense > r.sparse && r.states > dense_wins_up_to)
+            dense_wins_up_to = r.states;
+    std::printf("\ndense backend wins high-density workloads up to "
+                "%zu states (auto threshold: %zu)\n",
+                dense_wins_up_to, kDenseAutoMaxStates);
+
+    std::FILE *f = std::fopen(out_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"engine_throughput\",\n");
+    std::fprintf(f, "  \"trace_symbols\": %zu,\n", trace_len);
+    std::fprintf(f, "  \"auto_threshold_states\": %zu,\n",
+                 kDenseAutoMaxStates);
+    std::fprintf(f, "  \"dense_wins_up_to_states\": %zu,\n",
+                 dense_wins_up_to);
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f,
+                     "    {\"states\": %zu, \"workload\": \"%s\", "
+                     "\"active_density\": %.4f, "
+                     "\"sparse_symbols_per_sec\": %.1f, "
+                     "\"dense_symbols_per_sec\": %.1f, "
+                     "\"dense_speedup\": %.3f}%s\n",
+                     r.states, r.workload, r.density, r.sparse, r.dense,
+                     r.dense / r.sparse, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+    return 0;
+}

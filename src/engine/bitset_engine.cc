@@ -1,0 +1,165 @@
+#include "engine/bitset_engine.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace pap {
+
+BitsetEngine::BitsetEngine(const DenseNfa &dense, bool starts_enabled)
+    : dnfa(dense), startsEnabled(starts_enabled),
+      active(dense.words(), 0), next(dense.words(), 0)
+{
+}
+
+void
+BitsetEngine::seedWords(const std::vector<StateId> &states)
+{
+    std::fill(active.begin(), active.end(), 0);
+    for (const StateId q : states) {
+        PAP_ASSERT(q < dnfa.size(), "seed state ", q, " out of range");
+        if (startsEnabled && dnfa.compiled().isAllInputStart(q))
+            continue;
+        active[q >> 6] |= std::uint64_t{1} << (q & 63);
+    }
+    activeBits = 0;
+    for (const std::uint64_t w : active)
+        activeBits += static_cast<std::size_t>(std::popcount(w));
+}
+
+void
+BitsetEngine::reset(const std::vector<StateId> &initial_active,
+                    std::uint64_t offset_base)
+{
+    events.clear();
+    stats = EngineCounters{};
+    offsetCursor = offset_base;
+    seedWords(initial_active);
+}
+
+void
+BitsetEngine::overwriteActive(const std::vector<StateId> &vector)
+{
+    seedWords(vector);
+}
+
+void
+BitsetEngine::step(Symbol s)
+{
+    const std::size_t words = dnfa.words();
+    const std::uint64_t *m = dnfa.matchMask(s);
+    const std::uint64_t *rep = dnfa.reportMask();
+    const CompiledNfa &cnfa = dnfa.compiled();
+    std::fill(next.begin(), next.end(), 0);
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t matched = active[w] & m[w];
+        if (!matched)
+            continue;
+        stats.matches +=
+            static_cast<std::uint64_t>(std::popcount(matched));
+        std::uint64_t matchedReporting = matched & rep[w];
+        while (matchedReporting) {
+            const StateId q = static_cast<StateId>(
+                w * 64 + static_cast<std::size_t>(
+                             std::countr_zero(matchedReporting)));
+            events.push_back(
+                ReportEvent{offsetCursor, q, cnfa.reportCode(q)});
+            matchedReporting &= matchedReporting - 1;
+        }
+        while (matched) {
+            const StateId q = static_cast<StateId>(
+                w * 64 +
+                static_cast<std::size_t>(std::countr_zero(matched)));
+            const std::uint64_t *row = dnfa.succRow(q);
+            for (std::size_t w2 = 0; w2 < words; ++w2)
+                next[w2] |= row[w2];
+            matched &= matched - 1;
+        }
+    }
+    if (startsEnabled) {
+        // AllInput starts never sit in the enable vector (the start
+        // machinery carries them); drop any routed in by successor
+        // rows, then fold in this symbol's precomputed start enables.
+        const std::uint64_t *ai = dnfa.allInputMask();
+        const std::uint64_t *se = dnfa.startEnableMask(s);
+        for (std::size_t w = 0; w < words; ++w)
+            next[w] = (next[w] & ~ai[w]) | se[w];
+        stats.matches += cnfa.startMatchCount(s);
+        for (const auto &sr : cnfa.startReports(s))
+            events.push_back(ReportEvent{offsetCursor, sr.state,
+                                         sr.code});
+    }
+    active.swap(next);
+    activeBits = 0;
+    for (const std::uint64_t w : active)
+        activeBits += static_cast<std::size_t>(std::popcount(w));
+    stats.enables += activeBits;
+    ++stats.symbols;
+    ++offsetCursor;
+}
+
+void
+BitsetEngine::run(const Symbol *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        step(data[i]);
+}
+
+std::vector<StateId>
+BitsetEngine::snapshot() const
+{
+    std::vector<StateId> out;
+    out.reserve(activeBits);
+    for (std::size_t w = 0; w < active.size(); ++w) {
+        std::uint64_t word = active[w];
+        while (word) {
+            out.push_back(static_cast<StateId>(
+                w * 64 +
+                static_cast<std::size_t>(std::countr_zero(word))));
+            word &= word - 1;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+BitsetEngine::stateHash() const
+{
+    // Bits iterate in ascending state order, so the FNV-1a fold
+    // matches the sparse backend's sorted-id hash bit for bit.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t w = 0; w < active.size(); ++w) {
+        std::uint64_t word = active[w];
+        while (word) {
+            h ^= static_cast<StateId>(
+                w * 64 +
+                static_cast<std::size_t>(std::countr_zero(word)));
+            h *= 0x100000001b3ull;
+            word &= word - 1;
+        }
+    }
+    return h;
+}
+
+bool
+BitsetEngine::sameActiveSet(const EngineBackend &other) const
+{
+    if (const auto *peer = dynamic_cast<const BitsetEngine *>(&other)) {
+        if (peer->active.size() == active.size())
+            return peer->active == active;
+    }
+    if (other.activeCount() != activeBits)
+        return false;
+    return snapshot() == other.snapshot();
+}
+
+std::vector<ReportEvent>
+BitsetEngine::takeReports()
+{
+    std::vector<ReportEvent> out;
+    out.swap(events);
+    return out;
+}
+
+} // namespace pap

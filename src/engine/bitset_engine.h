@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dense bit-parallel NFA interpreter: one execution context whose
+ * active set is a word-packed state vector over a DenseNfa. Each step
+ * is the AP datapath in software — AND the active vector with the
+ * per-symbol match mask, OR the matched states' successor rows into
+ * the next enable vector, then fold in the precomputed AllInput-start
+ * enables. Implements the EngineBackend equivalence contract exactly
+ * (see engine_backend.h), so it is interchangeable with the sparse
+ * FunctionalEngine in every PAP layer.
+ */
+
+#ifndef PAP_ENGINE_BITSET_ENGINE_H
+#define PAP_ENGINE_BITSET_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/dense_nfa.h"
+#include "engine/engine_backend.h"
+
+namespace pap {
+
+/** One execution context over a DenseNfa. */
+class BitsetEngine final : public EngineBackend
+{
+  public:
+    /**
+     * @param dnfa dense automaton (must outlive the engine).
+     * @param starts_enabled as in FunctionalEngine: when true,
+     *        StartOfData states seed the first cycle and AllInput
+     *        starts contribute every cycle; when false the engine runs
+     *        only explicitly seeded activity (enumeration-flow mode).
+     */
+    BitsetEngine(const DenseNfa &dnfa, bool starts_enabled);
+
+    void reset(const std::vector<StateId> &initial_active,
+               std::uint64_t offset_base = 0) override;
+    void overwriteActive(const std::vector<StateId> &vector) override;
+    void step(Symbol s) override;
+    void run(const Symbol *data, std::size_t len) override;
+    bool dead() const override { return activeBits == 0; }
+    std::size_t activeCount() const override { return activeBits; }
+    std::vector<StateId> snapshot() const override;
+    std::uint64_t stateHash() const override;
+    bool sameActiveSet(const EngineBackend &other) const override;
+    std::uint64_t cursor() const override { return offsetCursor; }
+    const std::vector<ReportEvent> &reports() const override
+    {
+        return events;
+    }
+    std::vector<ReportEvent> takeReports() override;
+    const EngineCounters &counters() const override { return stats; }
+
+    /** The dense automaton this engine runs. */
+    const DenseNfa &automaton() const { return dnfa; }
+
+    /** Raw words of the active state vector (for word-compares). */
+    const std::vector<std::uint64_t> &activeWords() const
+    {
+        return active;
+    }
+
+  private:
+    /** Seed @p words from @p states with the AllInput-start filter. */
+    void seedWords(const std::vector<StateId> &states);
+
+    const DenseNfa &dnfa;
+    const bool startsEnabled;
+    std::vector<std::uint64_t> active;
+    std::vector<std::uint64_t> next;
+    std::size_t activeBits = 0;
+    std::uint64_t offsetCursor = 0;
+    std::vector<ReportEvent> events;
+    EngineCounters stats;
+};
+
+} // namespace pap
+
+#endif // PAP_ENGINE_BITSET_ENGINE_H

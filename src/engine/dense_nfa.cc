@@ -1,0 +1,84 @@
+#include "engine/dense_nfa.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pap {
+
+namespace {
+
+inline void
+setBit(std::uint64_t *words, std::size_t pos)
+{
+    words[pos >> 6] |= std::uint64_t{1} << (pos & 63);
+}
+
+} // namespace
+
+DenseNfa::DenseNfa(const CompiledNfa &compiled)
+    : cnfa(compiled), numStates(compiled.size()),
+      numWords((compiled.size() + 63) / 64)
+{
+    match.assign(kAlphabetSize * numWords, 0);
+    succ.assign(numStates * numWords, 0);
+    reporting.assign(numWords, 0);
+    allInput.assign(numWords, 0);
+    startEnable.assign(kAlphabetSize * numWords, 0);
+
+    for (StateId q = 0; q < numStates; ++q) {
+        for (const Symbol s : cnfa.label(q).toSymbols())
+            setBit(match.data() +
+                       static_cast<std::size_t>(s) * numWords,
+                   q);
+        std::uint64_t *row =
+            succ.data() + static_cast<std::size_t>(q) * numWords;
+        const auto [begin, end] = cnfa.successors(q);
+        for (const StateId *t = begin; t != end; ++t)
+            setBit(row, *t);
+        if (cnfa.reporting(q))
+            setBit(reporting.data(), q);
+        if (cnfa.isAllInputStart(q))
+            setBit(allInput.data(), q);
+    }
+    for (int s = 0; s < kAlphabetSize; ++s) {
+        std::uint64_t *enable =
+            startEnable.data() + static_cast<std::size_t>(s) * numWords;
+        for (const StateId t :
+             cnfa.startEnables(static_cast<Symbol>(s)))
+            setBit(enable, t);
+    }
+
+    // Per-symbol ranges: union the successor rows of the matching
+    // states and popcount (Section 3.1 off the match masks).
+    std::vector<std::uint64_t> scratch(numWords);
+    for (int s = 0; s < kAlphabetSize; ++s) {
+        std::fill(scratch.begin(), scratch.end(), 0);
+        const std::uint64_t *m = matchMask(static_cast<Symbol>(s));
+        for (std::size_t w = 0; w < numWords; ++w) {
+            std::uint64_t word = m[w];
+            while (word) {
+                const StateId q = static_cast<StateId>(
+                    w * 64 +
+                    static_cast<std::size_t>(std::countr_zero(word)));
+                const std::uint64_t *row = succRow(q);
+                for (std::size_t w2 = 0; w2 < numWords; ++w2)
+                    scratch[w2] |= row[w2];
+                word &= word - 1;
+            }
+        }
+        std::uint64_t count = 0;
+        for (const std::uint64_t w : scratch)
+            count += static_cast<std::uint64_t>(std::popcount(w));
+        ranges[s] = static_cast<std::uint32_t>(count);
+    }
+}
+
+std::size_t
+DenseNfa::byteSize() const
+{
+    return (match.size() + succ.size() + reporting.size() +
+            allInput.size() + startEnable.size()) *
+           sizeof(std::uint64_t);
+}
+
+} // namespace pap

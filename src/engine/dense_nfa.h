@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Word-packed flattening of a CompiledNfa for the bit-parallel
+ * backend. Every per-state predicate becomes a bit mask over the
+ * state space and every transition row a bit vector, so one engine
+ * step is a handful of whole-word operations — the software mirror of
+ * the AP's enable&match datapath (PAPER.md Section 2.1): the routing
+ * matrix ORs the successor rows of matched states into the enable
+ * vector, which is ANDed with the per-symbol match vector.
+ * Immutable; shared read-only by any number of engines and threads.
+ */
+
+#ifndef PAP_ENGINE_DENSE_NFA_H
+#define PAP_ENGINE_DENSE_NFA_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/compiled_nfa.h"
+
+namespace pap {
+
+/** Immutable dense (bit-matrix) form of a compiled automaton. */
+class DenseNfa
+{
+  public:
+    /** Pack @p cnfa (kept by reference; must outlive this object). */
+    explicit DenseNfa(const CompiledNfa &cnfa);
+
+    /** Number of states. */
+    std::size_t size() const { return numStates; }
+
+    /** 64-bit words per state vector. */
+    std::size_t words() const { return numWords; }
+
+    /** The compiled automaton this was packed from. */
+    const CompiledNfa &compiled() const { return cnfa; }
+
+    /** Bit q set iff state q's label matches symbol @p s. */
+    const std::uint64_t *matchMask(Symbol s) const
+    {
+        return match.data() + static_cast<std::size_t>(s) * numWords;
+    }
+
+    /** Successor row of state @p q (unfiltered). */
+    const std::uint64_t *succRow(StateId q) const
+    {
+        return succ.data() + static_cast<std::size_t>(q) * numWords;
+    }
+
+    /** Bit q set iff state q reports on match. */
+    const std::uint64_t *reportMask() const { return reporting.data(); }
+
+    /** Bit q set iff state q is an AllInput start. */
+    const std::uint64_t *allInputMask() const { return allInput.data(); }
+
+    /**
+     * States enabled for the next cycle because an AllInput start
+     * matched symbol @p s (the per-symbol start enable word).
+     */
+    const std::uint64_t *startEnableMask(Symbol s) const
+    {
+        return startEnable.data() +
+               static_cast<std::size_t>(s) * numWords;
+    }
+
+    /**
+     * Per-symbol range sizes read straight off the match masks:
+     * rangeSizes()[s] is the popcount of the union of the successor
+     * rows of every state in matchMask(s) — bitwise-identical to
+     * RangeAnalysis::rangeSizes() (Section 3.1), so the partitioner
+     * can consume either.
+     */
+    const std::array<std::uint32_t, kAlphabetSize> &rangeSizes() const
+    {
+        return ranges;
+    }
+
+    /** Approximate heap footprint in bytes (for the auto threshold). */
+    std::size_t byteSize() const;
+
+  private:
+    const CompiledNfa &cnfa;
+    std::size_t numStates;
+    std::size_t numWords;
+    std::vector<std::uint64_t> match;       // 256 x words
+    std::vector<std::uint64_t> succ;        // states x words
+    std::vector<std::uint64_t> reporting;   // words
+    std::vector<std::uint64_t> allInput;    // words
+    std::vector<std::uint64_t> startEnable; // 256 x words
+    std::array<std::uint32_t, kAlphabetSize> ranges{};
+};
+
+} // namespace pap
+
+#endif // PAP_ENGINE_DENSE_NFA_H

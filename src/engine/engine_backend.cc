@@ -1,0 +1,77 @@
+#include "engine/engine_backend.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "engine/bitset_engine.h"
+#include "engine/dense_nfa.h"
+#include "engine/functional_engine.h"
+
+namespace pap {
+
+Result<EngineKind>
+parseEngineKind(std::string_view text)
+{
+    if (text == "sparse")
+        return EngineKind::Sparse;
+    if (text == "dense")
+        return EngineKind::Dense;
+    if (text == "auto")
+        return EngineKind::Auto;
+    return Status::error(ErrorCode::InvalidInput, "unknown engine '",
+                         std::string(text),
+                         "' (expected sparse, dense, or auto)");
+}
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+    case EngineKind::Sparse:
+        return "sparse";
+    case EngineKind::Dense:
+        return "dense";
+    case EngineKind::Auto:
+        return "auto";
+    }
+    PAP_PANIC("invalid EngineKind ", static_cast<int>(kind));
+}
+
+EngineKind
+resolveEngineKind(EngineKind requested, std::size_t states)
+{
+    if (requested == EngineKind::Auto) {
+        if (const char *env = std::getenv("PAP_ENGINE")) {
+            const Result<EngineKind> parsed = parseEngineKind(env);
+            if (parsed.ok())
+                requested = parsed.value();
+            else
+                warn("ignoring PAP_ENGINE: ",
+                     parsed.status().toString());
+        }
+    }
+    if (requested != EngineKind::Auto)
+        return requested;
+    return states <= kDenseAutoMaxStates ? EngineKind::Dense
+                                         : EngineKind::Sparse;
+}
+
+EngineContext::EngineContext(const CompiledNfa &compiled,
+                             EngineKind requested)
+    : cnfa(&compiled)
+{
+    if (resolveEngineKind(requested, compiled.size()) ==
+        EngineKind::Dense)
+        dnfa = std::make_shared<const DenseNfa>(compiled);
+}
+
+std::unique_ptr<EngineBackend>
+EngineContext::make(bool starts_enabled, EngineScratch *scratch) const
+{
+    if (dnfa)
+        return std::make_unique<BitsetEngine>(*dnfa, starts_enabled);
+    return std::make_unique<FunctionalEngine>(*cnfa, starts_enabled,
+                                              scratch);
+}
+
+} // namespace pap

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The execution-backend abstraction of the engine layer. An
+ * EngineBackend is one AP execution context (one flow) over one
+ * automaton: it owns an active-state set, consumes symbols, and
+ * produces report events. Two implementations exist — the sparse
+ * FunctionalEngine (active states as an id list) and the dense
+ * BitsetEngine (active states as a word-packed bit vector, mirroring
+ * the AP's enable&match datapath) — and every PAP layer above works
+ * against this interface, so future backends (SIMD, GPU, multi-byte
+ * stride) drop in behind it.
+ *
+ * Equivalence contract (what makes backends interchangeable):
+ *  - snapshot() returns the active set sorted ascending;
+ *  - stateHash() is the FNV-1a hash of the sorted active ids, so equal
+ *    sets hash equal on every backend;
+ *  - counters() accumulate identical values for identical inputs
+ *    (matches/enables are set cardinalities, never visit orders);
+ *  - reports() contain the same event *set* per input cycle; only the
+ *    intra-cycle emission order may differ, which every consumer
+ *    erases via sortAndDedupReports before comparing or persisting.
+ * Under this contract FIVs, composition, convergence checks, and
+ * checkpoint files are backend-independent.
+ */
+
+#ifndef PAP_ENGINE_ENGINE_BACKEND_H
+#define PAP_ENGINE_ENGINE_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "engine/report.h"
+
+namespace pap {
+
+class CompiledNfa;
+class DenseNfa;
+class EngineScratch;
+
+/** Counters an engine accumulates while running. */
+struct EngineCounters
+{
+    /** Symbols consumed. */
+    std::uint64_t symbols = 0;
+    /** State matches (equals AP state transitions triggered). */
+    std::uint64_t matches = 0;
+    /** States enabled (with duplicates removed per cycle). */
+    std::uint64_t enables = 0;
+};
+
+/** One execution context (flow) over a compiled automaton. */
+class EngineBackend
+{
+  public:
+    virtual ~EngineBackend() = default;
+
+    /**
+     * Clear all state and seed the active set. AllInput starts in the
+     * seed are dropped when start machinery is live (they would be
+     * double-processed). @p offset_base is the absolute input offset
+     * of the next symbol (for report events).
+     */
+    virtual void reset(const std::vector<StateId> &initial_active,
+                       std::uint64_t offset_base = 0) = 0;
+
+    /**
+     * Replace the active set without touching the cursor, counters,
+     * or accumulated reports — the state-vector overwrite a context
+     * switch performs when reloading (or mis-reloading) an SVC entry.
+     * Applies the same AllInput-start filtering as reset().
+     */
+    virtual void overwriteActive(const std::vector<StateId> &vector) = 0;
+
+    /** Consume one symbol. */
+    virtual void step(Symbol s) = 0;
+
+    /** Consume @p len symbols from @p data. */
+    virtual void run(const Symbol *data, std::size_t len) = 0;
+
+    /** True if the active set is empty (the flow is unproductive). */
+    virtual bool dead() const = 0;
+
+    /** Number of currently active states. */
+    virtual std::size_t activeCount() const = 0;
+
+    /** Sorted copy of the active set (the flow's state vector). */
+    virtual std::vector<StateId> snapshot() const = 0;
+
+    /** Order-independent 64-bit hash of the active set. */
+    virtual std::uint64_t stateHash() const = 0;
+
+    /**
+     * True iff this engine's active set equals @p other's. This is
+     * the SVC convergence comparator: a word-compare on the dense
+     * backend, a sorted-id compare on the sparse one. Backends may be
+     * mixed (the comparison falls back to snapshots).
+     */
+    virtual bool sameActiveSet(const EngineBackend &other) const = 0;
+
+    /** Absolute offset of the next symbol to be consumed. */
+    virtual std::uint64_t cursor() const = 0;
+
+    /** Events produced so far (unsorted, in emission order). */
+    virtual const std::vector<ReportEvent> &reports() const = 0;
+
+    /** Move the accumulated events out (clears the internal buffer). */
+    virtual std::vector<ReportEvent> takeReports() = 0;
+
+    /** Performance counters. */
+    virtual const EngineCounters &counters() const = 0;
+};
+
+/** Which backend executes a run's flows. */
+enum class EngineKind : std::uint8_t
+{
+    /** Sparse active-id list (FunctionalEngine, the reference). */
+    Sparse,
+    /** Word-packed state vectors (BitsetEngine over a DenseNfa). */
+    Dense,
+    /**
+     * Consult the PAP_ENGINE environment variable (sparse|dense|auto),
+     * then pick dense below the state-count threshold where whole-row
+     * word operations are cheap, sparse otherwise.
+     */
+    Auto,
+};
+
+/**
+ * Auto picks the dense backend for automata of at most this many
+ * states (64 words per state vector): below it, one successor-row OR
+ * touches at most 64 words, so the bit-parallel step wins whenever a
+ * handful of states are active. Larger automata typically run with a
+ * tiny active density, where the sparse backend stays faster.
+ */
+inline constexpr std::size_t kDenseAutoMaxStates = 4096;
+
+/** Parse "sparse" / "dense" / "auto"; typed InvalidInput otherwise. */
+Result<EngineKind> parseEngineKind(std::string_view text);
+
+/** Stable name of @p kind ("sparse", "dense", "auto"). */
+const char *engineKindName(EngineKind kind);
+
+/**
+ * Resolve @p requested to a concrete backend for an automaton of
+ * @p states states. Auto consults PAP_ENGINE (an invalid value warns
+ * and is ignored), then applies the kDenseAutoMaxStates threshold.
+ * Never returns Auto.
+ */
+EngineKind resolveEngineKind(EngineKind requested, std::size_t states);
+
+/**
+ * Backend selection plus the shared immutable per-automaton data the
+ * engines of one run execute over. Cheap to copy (the dense automaton
+ * is shared); safe to use from concurrent workers — make() only reads.
+ */
+class EngineContext
+{
+  public:
+    /**
+     * Select the backend for @p cnfa per @p requested (resolved via
+     * resolveEngineKind) and precompute the DenseNfa when the dense
+     * backend was picked. @p cnfa must outlive the context.
+     */
+    explicit EngineContext(const CompiledNfa &cnfa,
+                           EngineKind requested = EngineKind::Sparse);
+
+    /**
+     * Create one execution context. @p scratch is the shared dedup
+     * scratch of the sparse backend (ignored by the dense one); when
+     * null a sparse engine owns a private scratch.
+     */
+    std::unique_ptr<EngineBackend>
+    make(bool starts_enabled, EngineScratch *scratch = nullptr) const;
+
+    /** True when the dense (bit-parallel) backend was selected. */
+    bool dense() const { return dnfa != nullptr; }
+
+    /** Name of the selected backend ("sparse" or "dense"). */
+    const char *backendName() const
+    {
+        return engineKindName(dense() ? EngineKind::Dense
+                                      : EngineKind::Sparse);
+    }
+
+    /** The compiled automaton the engines run. */
+    const CompiledNfa &compiled() const { return *cnfa; }
+
+    /** The dense automaton, or null when the sparse backend runs. */
+    const DenseNfa *denseNfa() const { return dnfa.get(); }
+
+  private:
+    const CompiledNfa *cnfa;
+    std::shared_ptr<const DenseNfa> dnfa;
+};
+
+} // namespace pap
+
+#endif // PAP_ENGINE_ENGINE_BACKEND_H

@@ -27,6 +27,7 @@ FunctionalEngine::reset(const std::vector<StateId> &initial_active,
     events.clear();
     stats = EngineCounters{};
     offsetCursor = offset_base;
+    sortedValid = false;
     scratch->bump();
     for (const StateId q : initial_active) {
         PAP_ASSERT(q < cnfa.size(), "seed state ", q, " out of range");
@@ -41,6 +42,7 @@ void
 FunctionalEngine::overwriteActive(const std::vector<StateId> &vector)
 {
     active.clear();
+    sortedValid = false;
     scratch->bump();
     for (const StateId q : vector) {
         PAP_ASSERT(q < cnfa.size(), "state ", q, " out of range");
@@ -56,6 +58,7 @@ FunctionalEngine::step(Symbol s)
 {
     scratch->bump();
     next.clear();
+    sortedValid = false;
     for (const StateId q : active) {
         if (!cnfa.label(q).test(s))
             continue;
@@ -93,26 +96,43 @@ FunctionalEngine::run(const Symbol *data, std::size_t len)
         step(data[i]);
 }
 
+const std::vector<StateId> &
+FunctionalEngine::sortedActive() const
+{
+    if (!sortedValid) {
+        sortedCache = active;
+        std::sort(sortedCache.begin(), sortedCache.end());
+        sortedValid = true;
+    }
+    return sortedCache;
+}
+
 std::vector<StateId>
 FunctionalEngine::snapshot() const
 {
-    std::vector<StateId> out = active;
-    std::sort(out.begin(), out.end());
-    return out;
+    return sortedActive();
 }
 
 std::uint64_t
 FunctionalEngine::stateHash() const
 {
-    // Sort a scratch copy so the hash is order-independent.
-    std::vector<StateId> sorted = active;
-    std::sort(sorted.begin(), sorted.end());
     std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const StateId q : sorted) {
+    for (const StateId q : sortedActive()) {
         h ^= q;
         h *= 0x100000001b3ull;
     }
     return h;
+}
+
+bool
+FunctionalEngine::sameActiveSet(const EngineBackend &other) const
+{
+    if (other.activeCount() != active.size())
+        return false;
+    if (const auto *peer =
+            dynamic_cast<const FunctionalEngine *>(&other))
+        return sortedActive() == peer->sortedActive();
+    return sortedActive() == other.snapshot();
 }
 
 std::vector<ReportEvent>

@@ -16,20 +16,10 @@
 #include <vector>
 
 #include "engine/compiled_nfa.h"
+#include "engine/engine_backend.h"
 #include "engine/report.h"
 
 namespace pap {
-
-/** Counters an engine accumulates while running. */
-struct EngineCounters
-{
-    /** Symbols consumed. */
-    std::uint64_t symbols = 0;
-    /** State matches (equals AP state transitions triggered). */
-    std::uint64_t matches = 0;
-    /** States enabled (with duplicates removed per cycle). */
-    std::uint64_t enables = 0;
-};
 
 /**
  * Per-cycle duplicate-suppression scratch. It is O(states) in size, so
@@ -69,7 +59,7 @@ class EngineScratch
 };
 
 /** One execution context over a CompiledNfa. */
-class FunctionalEngine
+class FunctionalEngine final : public EngineBackend
 {
   public:
     /**
@@ -83,66 +73,47 @@ class FunctionalEngine
     FunctionalEngine(const CompiledNfa &cnfa, bool starts_enabled,
                      EngineScratch *scratch = nullptr);
 
-    /**
-     * Clear all state and seed the active set. AllInput starts in the
-     * seed are dropped when start machinery is live (they would be
-     * double-processed). @p offset_base is the absolute input offset
-     * of the next symbol (for report events).
-     */
     void reset(const std::vector<StateId> &initial_active,
-               std::uint64_t offset_base = 0);
-
-    /**
-     * Replace the active set without touching the cursor, counters,
-     * or accumulated reports — the state-vector overwrite a context
-     * switch performs when reloading (or mis-reloading) an SVC entry.
-     * Applies the same AllInput-start filtering as reset().
-     */
-    void overwriteActive(const std::vector<StateId> &vector);
-
-    /** Consume one symbol. */
-    void step(Symbol s);
-
-    /** Consume @p len symbols from @p data. */
-    void run(const Symbol *data, std::size_t len);
-
-    /** True if the active set is empty (the flow is unproductive). */
-    bool dead() const { return active.empty(); }
-
-    /** Number of currently active states. */
-    std::size_t activeCount() const { return active.size(); }
-
-    /** Sorted copy of the active set (the flow's state vector). */
-    std::vector<StateId> snapshot() const;
+               std::uint64_t offset_base = 0) override;
+    void overwriteActive(const std::vector<StateId> &vector) override;
+    void step(Symbol s) override;
+    void run(const Symbol *data, std::size_t len) override;
+    bool dead() const override { return active.empty(); }
+    std::size_t activeCount() const override { return active.size(); }
+    std::vector<StateId> snapshot() const override;
+    std::uint64_t stateHash() const override;
+    bool sameActiveSet(const EngineBackend &other) const override;
+    std::uint64_t cursor() const override { return offsetCursor; }
+    const std::vector<ReportEvent> &reports() const override
+    {
+        return events;
+    }
+    std::vector<ReportEvent> takeReports() override;
+    const EngineCounters &counters() const override { return stats; }
 
     /** Unsorted view of the active set (cheap; for sampling). */
     const std::vector<StateId> &activeRaw() const { return active; }
-
-    /** Order-independent 64-bit hash of the active set. */
-    std::uint64_t stateHash() const;
-
-    /** Absolute offset of the next symbol to be consumed. */
-    std::uint64_t cursor() const { return offsetCursor; }
-
-    /** Events produced so far (unsorted, in emission order). */
-    const std::vector<ReportEvent> &reports() const { return events; }
-
-    /** Move the accumulated events out (clears the internal buffer). */
-    std::vector<ReportEvent> takeReports();
-
-    /** Performance counters. */
-    const EngineCounters &counters() const { return stats; }
 
     /** The compiled automaton this engine runs. */
     const CompiledNfa &automaton() const { return cnfa; }
 
   private:
+    /**
+     * Sorted view of the active set, computed lazily and cached until
+     * the next mutation, so convergence checks (which call snapshot /
+     * stateHash / sameActiveSet on an unchanged engine many times per
+     * round) sort each active set at most once.
+     */
+    const std::vector<StateId> &sortedActive() const;
+
     const CompiledNfa &cnfa;
     const bool startsEnabled;
     std::unique_ptr<EngineScratch> ownedScratch;
     EngineScratch *scratch;
     std::vector<StateId> active;
     std::vector<StateId> next;
+    mutable std::vector<StateId> sortedCache;
+    mutable bool sortedValid = false;
     std::uint64_t offsetCursor = 0;
     std::vector<ReportEvent> events;
     EngineCounters stats;

@@ -8,6 +8,7 @@
 #include "obs/trace_sink.h"
 #include "pap/exec/driver.h"
 #include "pap/exec/worker_pool.h"
+#include "pap/run_common.h"
 #include "pap/runner.h"
 
 namespace pap {
@@ -29,12 +30,14 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
         return failed;
     }
 
-    const CompiledNfa cnfa(nfa);
+    const RunContext ctx(nfa, options.engine);
+    const CompiledNfa &cnfa = ctx.compiled();
     std::uint64_t total_symbols = 0;
     for (const auto &stream : streams)
         total_symbols += stream.size();
 
     MultiStreamResult result;
+    result.engineBackend = ctx.backendName();
     result.streamDone.assign(streams.size(), 0);
     result.reports.resize(streams.size());
 
@@ -47,8 +50,9 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     const auto run_stream =
         [&](std::size_t i, const exec::CancellationToken *cancel) {
             EngineScratch scratch(nfa.size());
-            FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
-            engine.reset(cnfa.initialActive(), 0);
+            const auto engine =
+                ctx.engines().make(/*starts=*/true, &scratch);
+            engine->reset(cnfa.initialActive(), 0);
             constexpr std::uint64_t kCancelCheckChunk = 4096;
             const std::uint64_t len = streams[i].size();
             std::uint64_t pos = 0;
@@ -57,28 +61,19 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
                     return false;
                 const std::uint64_t n =
                     std::min(kCancelCheckChunk, len - pos);
-                engine.run(streams[i].ptr(pos), n);
+                engine->run(streams[i].ptr(pos), n);
                 pos += n;
             }
-            raw[i] = engine.takeReports();
+            raw[i] = engine->takeReports();
             return true;
         };
 
-    exec::HardenedExecOptions exec_opt;
-    exec_opt.threads = exec::WorkerPool::resolveThreads(options.threads);
-    exec_opt.maxRetries = options.maxSegmentRetries;
-    exec_opt.backoffBaseMs = options.retryBackoffBaseMs;
-    exec_opt.backoffCapMs = options.retryBackoffCapMs;
-    exec_opt.injector = options.faultInjector;
-    if (options.segmentDeadlineMs > 0.0)
-        exec_opt.deadlineMs = options.segmentDeadlineMs;
-    else if (options.segmentDeadlineMs == 0.0) {
-        std::uint64_t longest = 0;
-        for (const auto &stream : streams)
-            longest = std::max(longest, stream.size());
-        exec_opt.deadlineMs =
-            5000.0 + 0.01 * static_cast<double>(longest);
-    }
+    std::uint64_t longest = 0;
+    for (const auto &stream : streams)
+        longest = std::max(longest, stream.size());
+    const exec::HardenedExecOptions exec_opt = makeHardenedOptions(
+        options, exec::WorkerPool::resolveThreads(options.threads),
+        longest);
     result.threadsUsed = exec_opt.threads;
     const auto task_reports = exec::runHardened(
         exec_opt, streams.size(),
@@ -145,8 +140,12 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     for (std::size_t i = 0; i < streams.size(); ++i) {
         result.reports[i] = std::move(raw[i]);
         sortAndDedupReports(result.reports[i]);
+        // The standalone oracle always runs on the sparse reference
+        // backend, so a dense run is cross-backend verified.
+        PapOptions oracle_opt = options;
+        oracle_opt.engine = EngineKind::Sparse;
         const SequentialResult solo =
-            runSequential(nfa, streams[i], options);
+            runSequential(nfa, streams[i], oracle_opt);
         if (result.reports[i] != solo.reports) {
             warn("multiplexed stream ", i, " diverged from its "
                  "standalone execution; recovering the standalone "

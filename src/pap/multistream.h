@@ -14,6 +14,7 @@
 #define PAP_PAP_MULTISTREAM_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ap/ap_config.h"
@@ -28,6 +29,8 @@ namespace pap {
 /** Outcome of multiplexing independent streams on one half-core. */
 struct MultiStreamResult
 {
+    /** Backend that executed the streams ("sparse" or "dense"). */
+    std::string engineBackend = "sparse";
     /** Cycles until the last stream finished. */
     Cycles totalCycles = 0;
     /** Context-switch cycles spent. */

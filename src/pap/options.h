@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "engine/engine_backend.h"
 
 namespace pap {
 
@@ -39,6 +40,16 @@ enum class OverflowPolicy : std::uint8_t
 /** Knobs for one PAP run. Every optimization can be ablated. */
 struct PapOptions
 {
+    /**
+     * Execution backend for the run's flows: the sparse active-id
+     * engine, the dense bit-parallel engine, or automatic selection
+     * (PAP_ENGINE env, then a state-count threshold). Reports, cycle
+     * counts, and all figure metrics are byte-identical either way;
+     * only host wall-clock changes. The verification oracle always
+     * runs sparse, so every dense run is cross-backend checked.
+     */
+    EngineKind engine = EngineKind::Auto;
+
     /**
      * Symbols each flow processes before a context switch (the TDM
      * quantum k of Section 3.2). 125 symbols puts the worst-case

@@ -1,0 +1,41 @@
+#include "pap/run_common.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace pap {
+
+RunContext::RunContext(const Nfa &nfa, EngineKind requested)
+    : cnfa(std::make_unique<const CompiledNfa>(nfa)),
+      ctx(*cnfa, requested)
+{
+    auto &m = obs::metrics();
+    m.add(ctx.dense() ? "engine.runs.dense" : "engine.runs.sparse");
+    // Gauge encoding: 0 = sparse, 1 = dense (last run wins).
+    m.setGauge("engine.backend", ctx.dense() ? 1.0 : 0.0);
+}
+
+exec::HardenedExecOptions
+makeHardenedOptions(const PapOptions &options,
+                    std::uint32_t threads_resolved,
+                    std::uint64_t longest_unit)
+{
+    exec::HardenedExecOptions opt;
+    opt.threads = threads_resolved;
+    opt.maxRetries = options.maxSegmentRetries;
+    opt.backoffBaseMs = options.retryBackoffBaseMs;
+    opt.backoffCapMs = options.retryBackoffCapMs;
+    opt.injector = options.faultInjector;
+    if (options.segmentDeadlineMs > 0.0) {
+        opt.deadlineMs = options.segmentDeadlineMs;
+    } else if (options.segmentDeadlineMs == 0.0) {
+        // Auto deadline: generous enough that a healthy functional
+        // simulation never trips it (10 us/symbol with a 5 s floor).
+        opt.deadlineMs =
+            5000.0 + 0.01 * static_cast<double>(longest_unit);
+    } // negative: watchdog disabled (deadlineMs stays 0)
+    return opt;
+}
+
+} // namespace pap

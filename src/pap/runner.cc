@@ -5,6 +5,7 @@
 
 #include "ap/placement.h"
 #include "common/logging.h"
+#include "engine/dense_nfa.h"
 #include "engine/functional_engine.h"
 #include "nfa/analysis.h"
 #include "obs/metrics.h"
@@ -16,6 +17,7 @@
 #include "pap/fault_injector.h"
 #include "pap/flow_plan.h"
 #include "pap/partitioner.h"
+#include "pap/run_common.h"
 #include "pap/segment_sim.h"
 #include "pap/timeline.h"
 
@@ -27,13 +29,15 @@ runSequential(const Nfa &nfa, const InputTrace &input,
 {
     PAP_TRACE_SCOPE("pap.sequential");
     CompiledNfa cnfa(nfa);
-    FunctionalEngine engine(cnfa, /*starts=*/true);
-    engine.reset(cnfa.initialActive(), 0);
-    engine.run(input.begin(), input.size());
+    const EngineContext engines(cnfa, options.engine);
+    const auto engine = engines.make(/*starts=*/true);
+    engine->reset(cnfa.initialActive(), 0);
+    engine->run(input.begin(), input.size());
 
     SequentialResult result;
-    result.matches = engine.counters().matches;
-    result.reports = engine.takeReports();
+    result.engineBackend = engines.backendName();
+    result.matches = engine->counters().matches;
+    result.reports = engine->takeReports();
     const std::uint64_t entries = result.reports.size();
     sortAndDedupReports(result.reports);
     result.cycles =
@@ -208,9 +212,10 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // --- Static analysis & placement -------------------------------
     if (sink)
         sink->begin("pap.analyze");
-    const CompiledNfa cnfa(nfa);
+    const RunContext ctx(nfa, options.engine);
+    const CompiledNfa &cnfa = ctx.compiled();
+    result.engineBackend = ctx.backendName();
     const Components comps = connectedComponents(nfa);
-    const RangeAnalysis ranges(nfa);
     const std::vector<StateId> asg = alwaysActiveStates(nfa);
     const Placement placement = placeAutomaton(
         nfa, comps, config, options.routingMinHalfCores);
@@ -227,9 +232,13 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         sink->end();
 
     // --- Sequential baseline (also the verification oracle) --------
+    // The oracle always runs on the sparse reference backend, so a
+    // dense run is cross-checked against an independent execution.
     if (sink)
         sink->begin("pap.baseline");
-    const SequentialResult seq = runSequential(nfa, input, options);
+    PapOptions oracle_opt = options;
+    oracle_opt.engine = EngineKind::Sparse;
+    const SequentialResult seq = runSequential(nfa, input, oracle_opt);
     result.baselineCycles = seq.cycles;
     result.seqReportEvents = seq.reports.size();
     if (sink)
@@ -249,8 +258,16 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // --- Partitioning ----------------------------------------------
     if (sink)
         sink->begin("pap.partition");
+    // The dense backend reads the per-symbol ranges straight off its
+    // match-mask popcounts; the sparse path runs the RangeAnalysis
+    // pass here (the numbers are identical by construction).
     const PartitionProfile profile =
-        choosePartitionSymbol(ranges, input, num_segments);
+        ctx.engines().dense()
+            ? choosePartitionSymbol(
+                  ctx.engines().denseNfa()->rangeSizes(), input,
+                  num_segments)
+            : choosePartitionSymbol(RangeAnalysis(nfa), input,
+                                    num_segments);
     result.boundarySymbol = profile.symbol;
     result.boundaryRangeSize = profile.rangeSize;
     const std::vector<Segment> segs =
@@ -389,23 +406,11 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     std::vector<SegmentRun> runs(segs.size());
     std::vector<std::uint32_t> seg_batches(segs.size(), 1);
 
-    exec::HardenedExecOptions exec_opt;
-    exec_opt.threads = result.threadsUsed;
-    exec_opt.maxRetries = options.maxSegmentRetries;
-    exec_opt.backoffBaseMs = options.retryBackoffBaseMs;
-    exec_opt.backoffCapMs = options.retryBackoffCapMs;
-    exec_opt.injector = injector;
-    if (options.segmentDeadlineMs > 0.0) {
-        exec_opt.deadlineMs = options.segmentDeadlineMs;
-    } else if (options.segmentDeadlineMs == 0.0) {
-        // Auto deadline: generous enough that a healthy functional
-        // simulation never trips it (10 us/symbol with a 5 s floor).
-        std::uint64_t longest = 0;
-        for (const Segment &s : segs)
-            longest = std::max(longest, s.length());
-        exec_opt.deadlineMs =
-            5000.0 + 0.01 * static_cast<double>(longest);
-    } // negative: watchdog disabled (deadlineMs stays 0)
+    std::uint64_t longest = 0;
+    for (const Segment &s : segs)
+        longest = std::max(longest, s.length());
+    const exec::HardenedExecOptions exec_opt =
+        makeHardenedOptions(options, result.threadsUsed, longest);
 
     // Every task writes only its own runs[j] / seg_batches[j] slot, so
     // scheduling order cannot leak into the results; all reductions
@@ -420,11 +425,12 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             SegmentRun run;
             std::uint32_t batches = 1;
             if (j == 0) {
-                run = runGoldenSegment(cnfa, input.ptr(s.begin),
-                                       s.begin, s.length(), scratch,
-                                       injector, &cancel);
+                run = runGoldenSegment(ctx.engines(),
+                                       input.ptr(s.begin), s.begin,
+                                       s.length(), scratch, injector,
+                                       &cancel);
             } else if (plans[j].flows.size() <= batch_cap) {
-                run = runEnumSegment(cnfa, plans[j], asg,
+                run = runEnumSegment(ctx.engines(), plans[j], asg,
                                      input.ptr(s.begin), s.begin,
                                      s.length(), options, scratch,
                                      kInvalidFlow, &cancel);
@@ -450,7 +456,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                     sub.flows.assign(plan.flows.begin() + first,
                                      plan.flows.begin() + last);
                     SegmentRun part = runEnumSegment(
-                        cnfa, sub, b == 0 ? asg : no_asg,
+                        ctx.engines(), sub, b == 0 ? asg : no_asg,
                         input.ptr(s.begin), s.begin, s.length(),
                         options, scratch, asg_id, &cancel);
                     if (b == 0)
@@ -552,6 +558,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             result.degraded = true;
             obs::metrics().add("exec.segments.recovered");
             EngineScratch scratch(nfa.size());
+            // Deliberately the sparse reference engine: the recovery
+            // path must be independent of the backend under test.
             FunctionalEngine engine(cnfa, /*starts=*/true, &scratch);
             engine.reset(j == 0 ? cnfa.initialActive() : prev_final,
                          s.begin);

@@ -32,6 +32,8 @@ struct SequentialResult
     Cycles cycles = 0;
     /** State matches (transitions) performed. */
     std::uint64_t matches = 0;
+    /** Backend that executed the run ("sparse" or "dense"). */
+    std::string engineBackend = "sparse";
 };
 
 /** Run @p nfa sequentially over @p input. */
@@ -44,6 +46,8 @@ struct PapResult
     std::string name;
 
     // Configuration echo (Table 1).
+    /** Backend that executed the run's flows ("sparse" or "dense"). */
+    std::string engineBackend = "sparse";
     std::uint32_t numSegments = 1;
     std::uint32_t idealSpeedup = 1;
     std::uint32_t halfCoresPerCopy = 1;

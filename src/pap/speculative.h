@@ -37,6 +37,8 @@ namespace pap {
 /** Knobs of the speculative runner. */
 struct SpeculationOptions
 {
+    /** Execution backend for the speculative flows (see PapOptions). */
+    EngineKind engine = EngineKind::Auto;
     /** Warmup window: symbols re-executed before each segment. */
     std::uint32_t warmupWindow = 256;
     /** Cap parallel time at the sequential baseline. */
@@ -58,6 +60,8 @@ struct SpeculationOptions
 struct SpeculationResult
 {
     std::string name;
+    /** Backend that executed the run ("sparse" or "dense"). */
+    std::string engineBackend = "sparse";
     std::uint32_t numSegments = 1;
     std::uint32_t idealSpeedup = 1;
     /** Fraction of segments whose prediction was exact. */

@@ -26,18 +26,29 @@ cmp m.nfa m2.nfa
 "$PAPSIM" gentrace m.anml t.bin 32768 --pm=0.6 --seed=3 \
     | grep -q "wrote 32768 symbols"
 
-"$PAPSIM" run m.nfa t.bin --sequential | grep -q "sequential:"
+"$PAPSIM" run m.nfa t.bin --sequential | grep -q "sequential\["
 "$PAPSIM" run m.nfa t.bin --ranks=4 --verbose | grep -q "(verified)"
-"$PAPSIM" run m.anml t.bin --spec=128 | grep -q "speculative:"
+"$PAPSIM" run m.anml t.bin --spec=128 | grep -q "speculative\["
+
+# Engine backends: both run verified and agree symbol for symbol.
+SPARSE=$("$PAPSIM" run m.nfa t.bin --ranks=4 --engine=sparse)
+DENSE=$("$PAPSIM" run m.nfa t.bin --ranks=4 --engine=dense)
+echo "$SPARSE" | grep -q "PAP\[sparse\]"
+echo "$DENSE" | grep -q "PAP\[dense\]"
+test "$(echo "$SPARSE" | sed 's/\[sparse\]//')" \
+    = "$(echo "$DENSE" | sed 's/\[dense\]//')"
+PAP_ENGINE=dense "$PAPSIM" run m.nfa t.bin --ranks=4 \
+    | grep -q "PAP\[dense\]"
 
 # Fault injection: deterministic, detected, recovered, same matches.
-CLEAN=$("$PAPSIM" run m.nfa t.bin --ranks=4 | grep "PAP:")
+CLEAN=$("$PAPSIM" run m.nfa t.bin --ranks=4 | grep "PAP\[")
 FAULTY=$("$PAPSIM" run m.nfa t.bin --ranks=4 \
     --inject-faults=all:16 --fault-seed=7 2>/dev/null)
 echo "$FAULTY" | grep -q "(recovered)"
 echo "$FAULTY" | grep -q "detected=80 recovered=80"
-CLEAN_MATCHES=$(echo "$CLEAN" | sed 's/PAP: \([0-9]*\) matches.*/\1/')
-echo "$FAULTY" | grep -q "PAP: $CLEAN_MATCHES matches"
+CLEAN_MATCHES=$(echo "$CLEAN" \
+    | sed 's/PAP\[[a-z]*\]: \([0-9]*\) matches.*/\1/')
+echo "$FAULTY" | grep -q "PAP\[[a-z]*\]: $CLEAN_MATCHES matches"
 # Overflow policies parse and run.
 "$PAPSIM" run m.nfa t.bin --ranks=4 --overflow=batch \
     | grep -q "(verified)"
@@ -57,6 +68,9 @@ if "$PAPSIM" run m.nfa t.bin --inject-faults=bogus 2>/dev/null; then
     exit 1
 fi
 if "$PAPSIM" run m.nfa t.bin --overflow=wat 2>/dev/null; then exit 1; fi
+if "$PAPSIM" run m.nfa t.bin --engine=bogus 2>/dev/null; then exit 1; fi
+("$PAPSIM" run m.nfa t.bin --engine=bogus 2>&1 || true) \
+    | grep -q "InvalidInput"
 printf '# nothing\n' > empty_rules.txt
 if "$PAPSIM" compile empty_rules.txt e.nfa 2>/dev/null; then exit 1; fi
 

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Differential tests of the two EngineBackend implementations: the
+ * sparse FunctionalEngine (reference) and the dense BitsetEngine must
+ * be observationally identical — same sorted reports, snapshots,
+ * state hashes, and counters — on random automata and random inputs,
+ * and whole PAP runs must be byte-identical (reports, cycle counts,
+ * checkpoint files) regardless of the backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ap/ap_config.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "engine/bitset_engine.h"
+#include "engine/compiled_nfa.h"
+#include "engine/dense_nfa.h"
+#include "engine/engine_backend.h"
+#include "engine/functional_engine.h"
+#include "engine/trace.h"
+#include "nfa/analysis.h"
+#include "nfa/glushkov.h"
+#include "pap/exec/checkpoint.h"
+#include "pap/runner.h"
+#include "workload_helpers.h"
+
+namespace pap {
+namespace {
+
+/** Both backends over one automaton, stepped in lockstep. */
+struct EnginePair
+{
+    CompiledNfa cnfa;
+    DenseNfa dnfa;
+    EngineScratch scratch;
+    FunctionalEngine sparse;
+    BitsetEngine dense;
+
+    EnginePair(const Nfa &nfa, bool starts)
+        : cnfa(nfa), dnfa(cnfa), scratch(nfa.size()),
+          sparse(cnfa, starts, &scratch), dense(dnfa, starts)
+    {
+    }
+
+    void
+    reset(const std::vector<StateId> &seed, std::uint64_t base = 0)
+    {
+        sparse.reset(seed, base);
+        dense.reset(seed, base);
+    }
+
+    /** The full equivalence contract at the current instant. */
+    void
+    expectSameObservableState(const char *where) const
+    {
+        EXPECT_EQ(sparse.activeCount(), dense.activeCount()) << where;
+        EXPECT_EQ(sparse.snapshot(), dense.snapshot()) << where;
+        EXPECT_EQ(sparse.stateHash(), dense.stateHash()) << where;
+        EXPECT_EQ(sparse.dead(), dense.dead()) << where;
+        EXPECT_EQ(sparse.cursor(), dense.cursor()) << where;
+        EXPECT_TRUE(sparse.sameActiveSet(dense)) << where;
+        EXPECT_TRUE(dense.sameActiveSet(sparse)) << where;
+        const EngineCounters &a = sparse.counters();
+        const EngineCounters &b = dense.counters();
+        EXPECT_EQ(a.symbols, b.symbols) << where;
+        EXPECT_EQ(a.matches, b.matches) << where;
+        EXPECT_EQ(a.enables, b.enables) << where;
+    }
+};
+
+std::vector<ReportEvent>
+sortedReports(std::vector<ReportEvent> raw)
+{
+    sortAndDedupReports(raw);
+    return raw;
+}
+
+TEST(EngineDiff, FuzzSparseAndDenseAgreeStepByStep)
+{
+    Rng rng(1234);
+    for (int iter = 0; iter < 40; ++iter) {
+        const Nfa nfa = randomNfa(rng, 4);
+        const InputTrace t =
+            randomTextTrace(rng, 256 + rng.nextBelow(512), "abcdefgh\n ");
+        for (const bool starts : {true, false}) {
+            EnginePair p(nfa, starts);
+            // Enum mode seeds a random state subset; start mode seeds
+            // the initial active set like a fresh flow.
+            std::vector<StateId> seed = p.cnfa.initialActive();
+            if (!starts) {
+                seed.clear();
+                for (StateId q = 0; q < nfa.size(); ++q)
+                    if (rng.nextBool(0.25))
+                        seed.push_back(q);
+            }
+            p.reset(seed);
+            p.expectSameObservableState("after reset");
+            for (std::uint64_t i = 0; i < t.size(); ++i) {
+                p.sparse.step(t.begin()[i]);
+                p.dense.step(t.begin()[i]);
+                // Full-state compares every few symbols keep the fuzz
+                // loop fast without losing divergence localization.
+                if (i % 17 == 0)
+                    p.expectSameObservableState("mid-run");
+            }
+            p.expectSameObservableState("after run");
+            EXPECT_EQ(sortedReports(p.sparse.takeReports()),
+                      sortedReports(p.dense.takeReports()))
+                << "iter " << iter << " starts " << starts;
+        }
+    }
+}
+
+TEST(EngineDiff, RunBulkMatchesStepwise)
+{
+    Rng rng(99);
+    const Nfa nfa = randomNfa(rng, 3);
+    const InputTrace t = randomTextTrace(rng, 2048, "abcdefgh");
+    EnginePair p(nfa, true);
+    p.reset(p.cnfa.initialActive());
+    p.sparse.run(t.begin(), t.size());
+    p.dense.run(t.begin(), t.size());
+    p.expectSameObservableState("after bulk run");
+    EXPECT_EQ(sortedReports(p.sparse.takeReports()),
+              sortedReports(p.dense.takeReports()));
+}
+
+TEST(EngineDiff, OverwriteActiveAppliesSameFiltering)
+{
+    // overwriteActive must drop AllInput starts when start machinery
+    // is live, identically on both backends.
+    Rng rng(7);
+    const Nfa nfa = compileRuleset({{".*ab", 1}, {"cd", 2}}, "m");
+    const InputTrace t = randomTextTrace(rng, 512, "abcd");
+    for (const bool starts : {true, false}) {
+        EnginePair p(nfa, starts);
+        p.reset(p.cnfa.initialActive());
+        p.sparse.run(t.begin(), 100);
+        p.dense.run(t.begin(), 100);
+        std::vector<StateId> all;
+        for (StateId q = 0; q < nfa.size(); ++q)
+            all.push_back(q);
+        p.sparse.overwriteActive(all);
+        p.dense.overwriteActive(all);
+        p.expectSameObservableState("after overwrite");
+        p.sparse.run(t.begin() + 100, t.size() - 100);
+        p.dense.run(t.begin() + 100, t.size() - 100);
+        p.expectSameObservableState("after overwrite + run");
+    }
+}
+
+TEST(EngineDiff, DenseRangeSizesMatchRangeAnalysis)
+{
+    Rng rng(31);
+    for (int iter = 0; iter < 10; ++iter) {
+        const Nfa nfa = randomNfa(rng, 4);
+        const CompiledNfa cnfa(nfa);
+        const DenseNfa dnfa(cnfa);
+        const RangeAnalysis ranges(nfa);
+        EXPECT_EQ(dnfa.rangeSizes(), ranges.rangeSizes())
+            << "iter " << iter;
+    }
+}
+
+// --- Whole-run equivalence ------------------------------------------
+
+ApConfig
+smallBoard(std::uint32_t half_cores)
+{
+    ApConfig cfg = ApConfig::d480(1);
+    cfg.devicesPerRank = half_cores;
+    cfg.halfCoresPerDevice = 1;
+    return cfg;
+}
+
+struct Workload
+{
+    Nfa nfa;
+    InputTrace input;
+};
+
+Workload
+diffWorkload(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return Workload{randomNfa(rng, 4),
+                    randomTextTrace(rng, 16384, "abcdefgh ")};
+}
+
+/** The figure-level facts that must be backend-invariant. */
+void
+expectSameRun(const PapResult &a, const PapResult &b)
+{
+    EXPECT_EQ(a.reports, b.reports);
+    EXPECT_EQ(a.papCycles, b.papCycles);
+    EXPECT_EQ(a.baselineCycles, b.baselineCycles);
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+    EXPECT_EQ(a.numSegments, b.numSegments);
+    EXPECT_DOUBLE_EQ(a.flowsInRange, b.flowsInRange);
+    EXPECT_DOUBLE_EQ(a.avgActiveFlows, b.avgActiveFlows);
+    EXPECT_DOUBLE_EQ(a.switchOverheadPct, b.switchOverheadPct);
+    EXPECT_EQ(a.flowTransitions, b.flowTransitions);
+    EXPECT_EQ(a.flowSymbolCycles, b.flowSymbolCycles);
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    for (std::size_t j = 0; j < a.segments.size(); ++j) {
+        EXPECT_EQ(a.segments[j].begin, b.segments[j].begin);
+        EXPECT_EQ(a.segments[j].length, b.segments[j].length);
+        EXPECT_EQ(a.segments[j].flows, b.segments[j].flows);
+        EXPECT_EQ(a.segments[j].deactivated,
+                  b.segments[j].deactivated);
+        EXPECT_EQ(a.segments[j].converged, b.segments[j].converged);
+        EXPECT_EQ(a.segments[j].ranToEnd, b.segments[j].ranToEnd);
+        EXPECT_EQ(a.segments[j].tDone, b.segments[j].tDone);
+        EXPECT_EQ(a.segments[j].tResolve, b.segments[j].tResolve);
+    }
+}
+
+TEST(EngineDiff, PapRunsAreByteIdenticalAcrossBackends)
+{
+    for (const std::uint64_t seed : {11u, 22u, 33u}) {
+        const Workload w = diffWorkload(seed);
+        const ApConfig board = smallBoard(8);
+        PapOptions sparse_opt;
+        sparse_opt.engine = EngineKind::Sparse;
+        PapOptions dense_opt;
+        dense_opt.engine = EngineKind::Dense;
+        const PapResult a = runPap(w.nfa, w.input, board, sparse_opt);
+        const PapResult b = runPap(w.nfa, w.input, board, dense_opt);
+        ASSERT_TRUE(a.status.ok()) << "seed " << seed;
+        ASSERT_TRUE(b.status.ok()) << "seed " << seed;
+        EXPECT_TRUE(a.verified);
+        EXPECT_TRUE(b.verified);
+        EXPECT_EQ(a.engineBackend, "sparse");
+        EXPECT_EQ(b.engineBackend, "dense");
+        expectSameRun(a, b);
+    }
+}
+
+TEST(EngineDiff, SequentialRunsAgreeAcrossBackends)
+{
+    const Workload w = diffWorkload(5);
+    PapOptions sparse_opt;
+    sparse_opt.engine = EngineKind::Sparse;
+    PapOptions dense_opt;
+    dense_opt.engine = EngineKind::Dense;
+    const SequentialResult a = runSequential(w.nfa, w.input, sparse_opt);
+    const SequentialResult b = runSequential(w.nfa, w.input, dense_opt);
+    EXPECT_EQ(a.engineBackend, "sparse");
+    EXPECT_EQ(b.engineBackend, "dense");
+    EXPECT_EQ(a.reports, b.reports);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.matches, b.matches);
+}
+
+TEST(EngineDiff, CheckpointFilesAreByteIdenticalAcrossBackends)
+{
+    const Workload w = diffWorkload(44);
+    const ApConfig board = smallBoard(8);
+    const auto checkpoint_bytes = [&](EngineKind kind) {
+        const std::string path = ::testing::TempDir() +
+                                 "papsim_engine_diff_" +
+                                 engineKindName(kind) + ".ckpt";
+        exec::removeCheckpoint(path);
+        PapOptions opt;
+        opt.engine = kind;
+        opt.checkpointPath = path;
+        opt.stopAfterSegment = 1;
+        const PapResult dead = runPap(w.nfa, w.input, board, opt);
+        EXPECT_EQ(dead.status.code(), ErrorCode::Cancelled);
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.good());
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        exec::removeCheckpoint(path);
+        return bytes.str();
+    };
+    const std::string sparse_ckpt = checkpoint_bytes(EngineKind::Sparse);
+    const std::string dense_ckpt = checkpoint_bytes(EngineKind::Dense);
+    ASSERT_FALSE(sparse_ckpt.empty());
+    EXPECT_EQ(sparse_ckpt, dense_ckpt);
+}
+
+// --- Backend selection ----------------------------------------------
+
+TEST(EngineSelect, ParseEngineKind)
+{
+    EXPECT_EQ(parseEngineKind("sparse").value(), EngineKind::Sparse);
+    EXPECT_EQ(parseEngineKind("dense").value(), EngineKind::Dense);
+    EXPECT_EQ(parseEngineKind("auto").value(), EngineKind::Auto);
+    const Result<EngineKind> bad = parseEngineKind("bogus");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST(EngineSelect, EngineKindNames)
+{
+    EXPECT_STREQ(engineKindName(EngineKind::Sparse), "sparse");
+    EXPECT_STREQ(engineKindName(EngineKind::Dense), "dense");
+    EXPECT_STREQ(engineKindName(EngineKind::Auto), "auto");
+}
+
+TEST(EngineSelect, ResolveHonorsExplicitRequestAndThreshold)
+{
+    ::unsetenv("PAP_ENGINE");
+    // Explicit requests ignore the threshold entirely.
+    EXPECT_EQ(resolveEngineKind(EngineKind::Sparse, 1), EngineKind::Sparse);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Dense, 1u << 20),
+              EngineKind::Dense);
+    // Auto: dense up to the threshold, sparse beyond it.
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, kDenseAutoMaxStates),
+              EngineKind::Dense);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, kDenseAutoMaxStates + 1),
+              EngineKind::Sparse);
+}
+
+TEST(EngineSelect, ResolveConsultsEnvironmentOnlyForAuto)
+{
+    ::setenv("PAP_ENGINE", "sparse", 1);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 4), EngineKind::Sparse);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Dense, 4), EngineKind::Dense);
+    ::setenv("PAP_ENGINE", "dense", 1);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 1u << 20),
+              EngineKind::Dense);
+    // An invalid value warns and falls back to the threshold.
+    ::setenv("PAP_ENGINE", "wat", 1);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 4), EngineKind::Dense);
+    ::unsetenv("PAP_ENGINE");
+}
+
+TEST(EngineSelect, ContextReportsSelectedBackend)
+{
+    const Nfa nfa = compileRuleset({{"ab", 1}}, "m");
+    const CompiledNfa cnfa(nfa);
+    ::unsetenv("PAP_ENGINE");
+    const EngineContext sparse(cnfa, EngineKind::Sparse);
+    EXPECT_FALSE(sparse.dense());
+    EXPECT_STREQ(sparse.backendName(), "sparse");
+    EXPECT_EQ(sparse.denseNfa(), nullptr);
+    const EngineContext dense(cnfa, EngineKind::Dense);
+    EXPECT_TRUE(dense.dense());
+    EXPECT_STREQ(dense.backendName(), "dense");
+    ASSERT_NE(dense.denseNfa(), nullptr);
+    EXPECT_EQ(dense.denseNfa()->size(), cnfa.size());
+}
+
+} // namespace
+} // namespace pap

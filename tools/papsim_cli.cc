@@ -71,6 +71,7 @@ usage()
         "           [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]\n"
         "           [--verbose] [--metrics-json=PATH]\n"
         "           [--trace-out=PATH] [--profile]\n"
+        "           [--engine=sparse|dense|auto]\n"
         "           [--overflow=batch|sequential|fail]\n"
         "           [--threads=N] [--checkpoint=PATH]\n"
         "           [--deadline-ms=X] [--max-retries=N]\n"
@@ -78,7 +79,10 @@ usage()
         "           [--inject-faults=SPEC] [--fault-seed=N]\n"
         "           --threads=0 uses one thread per hardware thread;\n"
         "           PAP_THREADS sets the default when the flag is\n"
-        "           absent. SPEC: kind[:count[:rate]],... with kinds\n"
+        "           absent. --engine picks the execution backend\n"
+        "           (default auto: PAP_ENGINE, then a state-count\n"
+        "           threshold); results are identical either way.\n"
+        "           SPEC: kind[:count[:rate]],... with kinds\n"
         "           corrupt-sv evict-svc drop-report truncate-report\n"
         "           drop-fiv stall-worker crash-worker all\n"
         "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
@@ -410,6 +414,17 @@ cmdRun(const std::vector<std::string> &args)
         !parseU64(v, &max_reports))
         return fail("--max-reports needs an integer, got '" + v + "'");
 
+    // Execution backend: an explicit flag is validated here with a
+    // typed error; the auto default defers to PAP_ENGINE and the
+    // state-count threshold inside resolveEngineKind.
+    EngineKind engine = EngineKind::Auto;
+    if (flagValue(args, "--engine", &v)) {
+        const Result<EngineKind> parsed = parseEngineKind(v);
+        if (!parsed.ok())
+            return fail(parsed.status().toString());
+        engine = parsed.value();
+    }
+
     // Host thread count: the flag wins over the PAP_THREADS
     // environment variable; 0 means one thread per hardware thread.
     std::uint32_t threads = 1;
@@ -427,30 +442,34 @@ cmdRun(const std::vector<std::string> &args)
 
     std::vector<ReportEvent> reports;
     if (flagValue(args, "--sequential", &v)) {
-        const SequentialResult r = runSequential(nfa, trace);
-        std::printf("sequential: %zu matches, %llu cycles (%.3f ms on "
-                    "AP)\n",
-                    r.reports.size(),
+        PapOptions opt;
+        opt.engine = engine;
+        const SequentialResult r = runSequential(nfa, trace, opt);
+        std::printf("sequential[%s]: %zu matches, %llu cycles "
+                    "(%.3f ms on AP)\n",
+                    r.engineBackend.c_str(), r.reports.size(),
                     static_cast<unsigned long long>(r.cycles),
                     static_cast<double>(r.cycles) * 7.5e-6);
         reports = r.reports;
     } else if (flagValue(args, "--spec", &v)) {
         SpeculationOptions opt;
+        opt.engine = engine;
         opt.threads = threads;
         if (!v.empty() && !parseU32(v, &opt.warmupWindow))
             return fail("--spec window needs an integer, got '" + v +
                         "'");
         const SpeculationResult r =
             runSpeculative(nfa, trace, ApConfig::d480(ranks), opt);
-        std::printf("speculative: %zu matches, %u segments, accuracy "
-                    "%.2f, speedup %.2fx%s\n",
-                    r.reports.size(), r.numSegments, r.accuracy,
-                    r.speedup,
+        std::printf("speculative[%s]: %zu matches, %u segments, "
+                    "accuracy %.2f, speedup %.2fx%s\n",
+                    r.engineBackend.c_str(), r.reports.size(),
+                    r.numSegments, r.accuracy, r.speedup,
                     r.verified ? " (verified)"
                                : (r.recovered ? " (recovered)" : ""));
         reports = r.reports;
     } else {
         PapOptions opt;
+        opt.engine = engine;
         opt.threads = threads;
         if (flagValue(args, "--quantum", &v) &&
             (!parseU32(v, &opt.tdmQuantum) || opt.tdmQuantum == 0))
@@ -528,11 +547,12 @@ cmdRun(const std::vector<std::string> &args)
                                ? " (verified)"
                                : (r.recovered ? " (recovered)" : "");
         std::printf(
-            "PAP: %zu matches, %u segments (ideal %ux), speedup "
+            "PAP[%s]: %zu matches, %u segments (ideal %ux), speedup "
             "%.2fx%s%s\n  flows range/cc/parent/active = "
             "%.0f/%.0f/%.0f/%.1f, switch %.2f%%, inflation %.1fx\n",
-            r.reports.size(), r.numSegments, r.idealSpeedup, r.speedup,
-            mark, r.degraded ? " [degraded]" : "", r.flowsInRange,
+            r.engineBackend.c_str(), r.reports.size(), r.numSegments,
+            r.idealSpeedup, r.speedup, mark,
+            r.degraded ? " [degraded]" : "", r.flowsInRange,
             r.flowsAfterCc, r.flowsAfterParent, r.avgActiveFlows,
             r.switchOverheadPct, r.reportInflation);
         if (r.svcBatches > 1)
