@@ -37,17 +37,17 @@ engineKindName(EngineKind kind)
     PAP_PANIC("invalid EngineKind ", static_cast<int>(kind));
 }
 
-EngineKind
+Result<EngineKind>
 resolveEngineKind(EngineKind requested, std::size_t states)
 {
     if (requested == EngineKind::Auto) {
         if (const char *env = std::getenv("PAP_ENGINE")) {
             const Result<EngineKind> parsed = parseEngineKind(env);
-            if (parsed.ok())
-                requested = parsed.value();
-            else
-                warn("ignoring PAP_ENGINE: ",
-                     parsed.status().toString());
+            if (!parsed.ok())
+                return Status::error(ErrorCode::InvalidInput,
+                                     "PAP_ENGINE: ",
+                                     parsed.status().message());
+            requested = parsed.value();
         }
     }
     if (requested != EngineKind::Auto)
@@ -60,8 +60,15 @@ EngineContext::EngineContext(const CompiledNfa &compiled,
                              EngineKind requested)
     : cnfa(&compiled)
 {
-    if (resolveEngineKind(requested, compiled.size()) ==
-        EngineKind::Dense)
+    const Result<EngineKind> resolved =
+        resolveEngineKind(requested, compiled.size());
+    if (!resolved.ok()) {
+        // Stay usable on the reference backend; the caller decides
+        // whether the typed error aborts the run.
+        status_ = resolved.status();
+        return;
+    }
+    if (resolved.value() == EngineKind::Dense)
         dnfa = std::make_shared<const DenseNfa>(compiled);
 }
 

@@ -146,11 +146,13 @@ const char *engineKindName(EngineKind kind);
 
 /**
  * Resolve @p requested to a concrete backend for an automaton of
- * @p states states. Auto consults PAP_ENGINE (an invalid value warns
- * and is ignored), then applies the kDenseAutoMaxStates threshold.
- * Never returns Auto.
+ * @p states states. Auto consults PAP_ENGINE — an invalid value is a
+ * typed InvalidInput error, exactly like an invalid --engine flag —
+ * then applies the kDenseAutoMaxStates threshold. A successful result
+ * is never Auto.
  */
-EngineKind resolveEngineKind(EngineKind requested, std::size_t states);
+Result<EngineKind> resolveEngineKind(EngineKind requested,
+                                     std::size_t states);
 
 /**
  * Backend selection plus the shared immutable per-automaton data the
@@ -163,10 +165,16 @@ class EngineContext
     /**
      * Select the backend for @p cnfa per @p requested (resolved via
      * resolveEngineKind) and precompute the DenseNfa when the dense
-     * backend was picked. @p cnfa must outlive the context.
+     * backend was picked. @p cnfa must outlive the context. When
+     * resolution fails (an invalid PAP_ENGINE value), the context
+     * stays usable on the sparse reference backend and status()
+     * carries the typed error for the run driver to surface.
      */
     explicit EngineContext(const CompiledNfa &cnfa,
                            EngineKind requested = EngineKind::Sparse);
+
+    /** OK, or the typed resolution error (invalid PAP_ENGINE). */
+    const Status &status() const { return status_; }
 
     /**
      * Create one execution context. @p scratch is the shared dedup
@@ -195,6 +203,7 @@ class EngineContext
   private:
     const CompiledNfa *cnfa;
     std::shared_ptr<const DenseNfa> dnfa;
+    Status status_;
 };
 
 } // namespace pap

@@ -51,7 +51,7 @@ class CancellationToken
      * fault to park deterministically until the watchdog fires).
      */
     bool
-    waitCancelledFor(std::chrono::milliseconds timeout) const
+    waitCancelledFor(std::chrono::nanoseconds timeout) const
     {
         std::unique_lock<std::mutex> lock(mutex_);
         return cv_.wait_for(lock, timeout, [this] {

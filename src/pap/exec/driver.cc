@@ -1,51 +1,10 @@
 #include "pap/exec/driver.h"
 
-#include <algorithm>
-#include <chrono>
-#include <exception>
-#include <memory>
-#include <thread>
-
-#include "obs/metrics.h"
 #include "obs/trace_sink.h"
-#include "pap/exec/watchdog.h"
-#include "pap/exec/worker_pool.h"
+#include "pap/exec/pipeline.h"
 
 namespace pap {
 namespace exec {
-
-namespace {
-
-/** Backoff before retry @p retry (0-based): base * 2^retry, capped. */
-std::chrono::milliseconds
-backoffDelay(const HardenedExecOptions &options, std::uint32_t retry)
-{
-    const std::uint32_t shift = std::min<std::uint32_t>(retry, 20);
-    const std::uint64_t raw =
-        static_cast<std::uint64_t>(options.backoffBaseMs) << shift;
-    return std::chrono::milliseconds(
-        std::min<std::uint64_t>(raw, options.backoffCapMs));
-}
-
-/**
- * Park an injected stall until the watchdog cancels it. Bounded even
- * with the watchdog disabled, so a stall fault can never hang a run.
- */
-Status
-parkStalled(const CancellationToken &token, bool watchdog_armed,
-            double deadline_ms)
-{
-    const auto bound =
-        watchdog_armed
-            ? std::chrono::milliseconds(
-                  static_cast<std::int64_t>(deadline_ms * 20.0) + 1000)
-            : std::chrono::milliseconds(25);
-    token.waitCancelledFor(bound);
-    return Status::error(ErrorCode::DeadlineExceeded,
-                         "injected worker stall");
-}
-
-} // namespace
 
 std::vector<TaskReport>
 runHardened(const HardenedExecOptions &options, std::size_t count,
@@ -56,100 +15,14 @@ runHardened(const HardenedExecOptions &options, std::size_t count,
     if (count == 0)
         return reports;
 
-    const std::uint32_t threads =
-        std::max<std::uint32_t>(1, options.threads);
-    obs::metrics().setGauge("exec.pool.threads",
-                            static_cast<double>(threads));
-
-    Watchdog watchdog;
-    WorkerPool pool(threads);
-
-    for (std::size_t i = 0; i < count; ++i) {
-        pool.submit([&, i] {
-            TaskReport &report = reports[i];
-            const std::uint32_t max_attempts = options.maxRetries + 1;
-            for (std::uint32_t attempt = 0; attempt < max_attempts;
-                 ++attempt) {
-                ++report.attempts;
-                auto fault = FaultInjector::WorkerFault::None;
-                if (options.injector)
-                    fault = options.injector->onWorkerAttempt(i,
-                                                              attempt);
-                if (fault != FaultInjector::WorkerFault::None)
-                    ++report.faultsInjected;
-
-                auto token = std::make_shared<CancellationToken>();
-                const bool armed = options.deadlineMs > 0.0;
-                Watchdog::Handle handle = 0;
-                if (armed)
-                    handle = watchdog.arm(
-                        token,
-                        Watchdog::Clock::now() +
-                            std::chrono::microseconds(
-                                static_cast<std::int64_t>(
-                                    options.deadlineMs * 1000.0)));
-
-                Status status;
-                if (fault == FaultInjector::WorkerFault::Stall) {
-                    status = parkStalled(*token, armed,
-                                         options.deadlineMs);
-                } else if (fault == FaultInjector::WorkerFault::Crash) {
-                    status =
-                        Status::error(ErrorCode::HardwareFault,
-                                      "injected worker crash");
-                } else {
-                    try {
-                        status = fn(i, *token);
-                    } catch (const std::exception &e) {
-                        status = Status::error(
-                            ErrorCode::HardwareFault,
-                            "worker crashed: ", e.what());
-                    } catch (...) {
-                        status = Status::error(ErrorCode::HardwareFault,
-                                               "worker crashed");
-                    }
-                }
-                if (armed)
-                    watchdog.disarm(handle);
-
-                if (status.ok()) {
-                    // Faults on earlier attempts of this task were
-                    // detected (the attempt failed) and are now
-                    // repaired by the successful retry.
-                    if (options.injector && report.faultsInjected > 0 &&
-                        report.retried)
-                        options.injector->markRecovered(
-                            report.faultsInjected);
-                    report.status = Status();
-                    break;
-                }
-
-                if (status.code() == ErrorCode::DeadlineExceeded ||
-                    status.code() == ErrorCode::Cancelled)
-                    report.timedOut = true;
-                if (status.code() == ErrorCode::HardwareFault)
-                    report.crashed = true;
-                if (fault != FaultInjector::WorkerFault::None)
-                    options.injector->markDetected(1);
-
-                if (attempt + 1 < max_attempts) {
-                    report.retried = true;
-                    obs::metrics().add("exec.retry.attempts");
-                    std::this_thread::sleep_for(
-                        backoffDelay(options, attempt));
-                    continue;
-                }
-                report.status = status; // retries exhausted
-            }
-            auto &m = obs::metrics();
-            m.add("exec.pool.tasks");
-            m.observe("exec.task.attempts",
-                      static_cast<double>(report.attempts));
-            if (!report.status.ok())
-                m.add("exec.tasks.failed");
-        });
-    }
-    pool.drain();
+    // A barrier-mode pipeline is exactly the historical semantics:
+    // submit everything, run to completion, collect in index order.
+    SegmentPipeline::Options popt;
+    popt.exec = options;
+    popt.overlap = false;
+    SegmentPipeline pipe(popt, count, fn);
+    for (std::size_t i = 0; i < count; ++i)
+        reports[i] = pipe.await(i);
     return reports;
 }
 

@@ -1,0 +1,273 @@
+#include "pap/exec/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace pap {
+namespace exec {
+
+namespace {
+
+/** Backoff before retry @p retry (0-based): base * 2^retry, capped. */
+std::chrono::milliseconds
+backoffDelay(const HardenedExecOptions &options, std::uint32_t retry)
+{
+    const std::uint32_t shift = std::min<std::uint32_t>(retry, 20);
+    const std::uint64_t raw =
+        static_cast<std::uint64_t>(options.backoffBaseMs) << shift;
+    return std::chrono::milliseconds(
+        std::min<std::uint64_t>(raw, options.backoffCapMs));
+}
+
+/**
+ * Park an injected stall until the watchdog cancels it. Bounded even
+ * with the watchdog disabled, so a stall fault can never hang a run.
+ */
+Status
+parkStalled(const CancellationToken &token, bool watchdog_armed,
+            double deadline_ms)
+{
+    const auto bound =
+        watchdog_armed
+            ? std::chrono::milliseconds(
+                  static_cast<std::int64_t>(deadline_ms * 20.0) + 1000)
+            : std::chrono::milliseconds(25);
+    token.waitCancelledFor(bound);
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         "injected worker stall");
+}
+
+} // namespace
+
+SegmentPipeline::SegmentPipeline(const Options &options,
+                                 std::size_t count, TaskFn fn)
+    : opts_(options), fn_(std::move(fn)), reports_(count),
+      done_(count, 0), live_(count)
+{
+    const std::uint32_t threads =
+        std::max<std::uint32_t>(1, opts_.exec.threads);
+    obs::metrics().setGauge("exec.pool.threads",
+                            static_cast<double>(threads));
+    window_ = opts_.overlap
+                  ? (opts_.window
+                         ? opts_.window
+                         : std::max<std::size_t>(
+                               4, 2 * static_cast<std::size_t>(threads)))
+                  : std::max<std::size_t>(count, 1);
+    if (count == 0)
+        return;
+    pool_ = std::make_unique<WorkerPool>(threads);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        maybeSubmitLocked();
+    }
+    if (!opts_.overlap)
+        pool_->drain(); // barrier: everything finishes before return
+}
+
+SegmentPipeline::~SegmentPipeline()
+{
+    if (!pool_)
+        return;
+    cancelRemaining();
+    pool_->drain();
+}
+
+const TaskReport &
+SegmentPipeline::await(std::size_t index)
+{
+    PAP_ASSERT(index < reports_.size(),
+               "await past the end of the pipeline");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!done_[index]) {
+        ++stalls_;
+        const auto t0 = std::chrono::steady_clock::now();
+        doneCv_.wait(lock, [&] { return done_[index] != 0; });
+        stallMs_ +=
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+    }
+    if (index + 1 > frontier_) {
+        frontier_ = index + 1;
+        maybeSubmitLocked();
+    }
+    return reports_[index];
+}
+
+void
+SegmentPipeline::cancelRemaining()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cancelled_ = true;
+        for (auto &token : live_)
+            if (token)
+                token->cancel();
+        // Tasks never admitted to the pool can no longer run (the
+        // admission loop checks cancelled_); mark them done with a
+        // Cancelled report so await() on them returns instead of
+        // blocking forever.
+        for (std::size_t i = nextSubmit_; i < reports_.size(); ++i)
+            if (!done_[i]) {
+                reports_[i].status = Status::error(
+                    ErrorCode::Cancelled,
+                    "pipeline cancelled before the task ran");
+                done_[i] = 1;
+            }
+    }
+    doneCv_.notify_all();
+}
+
+std::uint64_t
+SegmentPipeline::composerStalls() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stalls_;
+}
+
+double
+SegmentPipeline::composerStallMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stallMs_;
+}
+
+bool
+SegmentPipeline::cancelledNow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+}
+
+/** Admit tasks up to the handoff window past the frontier. */
+void
+SegmentPipeline::maybeSubmitLocked()
+{
+    while (nextSubmit_ < reports_.size() && !cancelled_ &&
+           nextSubmit_ < frontier_ + window_) {
+        const std::size_t i = nextSubmit_++;
+        const bool accepted =
+            pool_->submit([this, i] { runTask(i); });
+        PAP_ASSERT(accepted, "pipeline pool rejected a submission");
+    }
+}
+
+void
+SegmentPipeline::runTask(std::size_t index)
+{
+    runAttempts(index, reports_[index]);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_[index] = 1;
+    }
+    doneCv_.notify_all();
+}
+
+/**
+ * The hardened per-task attempt loop (watchdog, retry with capped
+ * exponential backoff, injected worker faults, structured terminal
+ * status) shared by both scheduling modes — and by runHardened, which
+ * is a barrier-mode pipeline.
+ */
+void
+SegmentPipeline::runAttempts(std::size_t index, TaskReport &report)
+{
+    const HardenedExecOptions &options = opts_.exec;
+    const std::uint32_t max_attempts = options.maxRetries + 1;
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        if (cancelledNow()) {
+            if (report.attempts == 0)
+                report.status = Status::error(
+                    ErrorCode::Cancelled,
+                    "pipeline cancelled before the task ran");
+            break; // otherwise keep the last attempt's failure
+        }
+        ++report.attempts;
+        auto fault = FaultInjector::WorkerFault::None;
+        if (options.injector)
+            fault = options.injector->onWorkerAttempt(index, attempt);
+        if (fault != FaultInjector::WorkerFault::None)
+            ++report.faultsInjected;
+
+        auto token = std::make_shared<CancellationToken>();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            live_[index] = token;
+            if (cancelled_)
+                token->cancel();
+        }
+        const bool armed = options.deadlineMs > 0.0;
+        Watchdog::Handle handle = 0;
+        if (armed)
+            handle = watchdog_.arm(
+                token, Watchdog::Clock::now() +
+                           std::chrono::microseconds(
+                               static_cast<std::int64_t>(
+                                   options.deadlineMs * 1000.0)));
+
+        Status status;
+        if (fault == FaultInjector::WorkerFault::Stall) {
+            status = parkStalled(*token, armed, options.deadlineMs);
+        } else if (fault == FaultInjector::WorkerFault::Crash) {
+            status = Status::error(ErrorCode::HardwareFault,
+                                   "injected worker crash");
+        } else {
+            try {
+                status = fn_(index, *token);
+            } catch (const std::exception &e) {
+                status = Status::error(ErrorCode::HardwareFault,
+                                       "worker crashed: ", e.what());
+            } catch (...) {
+                status = Status::error(ErrorCode::HardwareFault,
+                                       "worker crashed");
+            }
+        }
+        if (armed)
+            watchdog_.disarm(handle);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            live_[index].reset();
+        }
+
+        if (status.ok()) {
+            // Faults on earlier attempts of this task were detected
+            // (the attempt failed) and are now repaired by the
+            // successful retry.
+            if (options.injector && report.faultsInjected > 0 &&
+                report.retried)
+                options.injector->markRecovered(report.faultsInjected);
+            report.status = Status();
+            break;
+        }
+
+        if (status.code() == ErrorCode::DeadlineExceeded ||
+            status.code() == ErrorCode::Cancelled)
+            report.timedOut = true;
+        if (status.code() == ErrorCode::HardwareFault)
+            report.crashed = true;
+        if (fault != FaultInjector::WorkerFault::None)
+            options.injector->markDetected(1);
+
+        report.status = status; // terminal unless a retry succeeds
+        if (attempt + 1 < max_attempts && !cancelledNow()) {
+            report.retried = true;
+            obs::metrics().add("exec.retry.attempts");
+            std::this_thread::sleep_for(backoffDelay(options, attempt));
+        }
+    }
+    auto &m = obs::metrics();
+    m.add("exec.pool.tasks");
+    m.observe("exec.task.attempts",
+              static_cast<double>(report.attempts));
+    if (!report.status.ok())
+        m.add("exec.tasks.failed");
+}
+
+} // namespace exec
+} // namespace pap

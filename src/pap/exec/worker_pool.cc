@@ -17,32 +17,47 @@ WorkerPool::WorkerPool(std::uint32_t threads)
 
 WorkerPool::~WorkerPool()
 {
+    stop();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+WorkerPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return false;
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    wake_.notify_one();
+    return true;
+}
+
+void
+WorkerPool::stop()
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
-    for (auto &w : workers_)
-        w.join();
-}
-
-void
-WorkerPool::submit(std::function<void()> task)
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        PAP_ASSERT(!stopping_, "submit on a stopping WorkerPool");
-        queue_.push_back(std::move(task));
-    }
-    wake_.notify_one();
 }
 
 void
 WorkerPool::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock,
-               [this] { return queue_.empty() && inFlight_ == 0; });
+    idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t
+WorkerPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_;
 }
 
 std::uint32_t
@@ -68,12 +83,12 @@ WorkerPool::workerLoop()
                 return; // stopping and drained
             task = std::move(queue_.front());
             queue_.pop_front();
-            ++inFlight_;
+            // pending_ stays up: the task is running, not finished.
         }
         task();
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            --inFlight_;
+            --pending_;
         }
         idle_.notify_all();
     }

@@ -6,6 +6,15 @@
  * anything run on the pool must write only to its own output slot —
  * the hardened driver (driver.h) merges results in index order to keep
  * runs deterministic for any thread count.
+ *
+ * Submit/drain contract: a task is *pending* from the moment submit()
+ * accepts it until its closure returns, counted by one atomic
+ * queued+running counter updated under the queue lock — a task can
+ * never be "in neither count" between dequeue and execution, so
+ * drain() returning means every previously accepted task has fully
+ * finished. After stop() (or destruction begins), submit() rejects
+ * new tasks by returning false instead of aborting or silently
+ * dropping them; already queued tasks still run to completion.
  */
 
 #ifndef PAP_PAP_EXEC_WORKER_POOL_H
@@ -34,11 +43,29 @@ class WorkerPool
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    /** Enqueue @p task; it runs on some worker, exactly once. */
-    void submit(std::function<void()> task);
+    /**
+     * Enqueue @p task; it runs on some worker, exactly once. Returns
+     * false — and does not enqueue — once stop() has been called (or
+     * destruction has begun).
+     */
+    bool submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished. */
+    /**
+     * Reject all future submissions. Queued and running tasks still
+     * complete (drain() observes them); idempotent.
+     */
+    void stop();
+
+    /**
+     * Block until every accepted task has finished (queued + running
+     * count reaches zero). Tasks accepted concurrently with drain()
+     * either complete before it returns or were submitted after the
+     * count it observed hit zero.
+     */
     void drain();
+
+    /** Queued + running tasks right now (test/diagnostic hook). */
+    std::size_t pending() const;
 
     std::uint32_t threadCount() const
     {
@@ -54,11 +81,12 @@ class WorkerPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable idle_;
     std::deque<std::function<void()>> queue_;
-    std::size_t inFlight_ = 0;
+    /** Accepted but not yet finished (queued + running). */
+    std::size_t pending_ = 0;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };

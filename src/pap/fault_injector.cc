@@ -57,6 +57,7 @@ FaultInjector::FaultInjector(const FaultInjector &other)
     : seed_(other.seed_), rng(other.rng)
 {
     std::lock_guard<std::mutex> lock(*other.mutex_);
+    segRngs_ = other.segRngs_;
     budgets = other.budgets;
     injectedByKind = other.injectedByKind;
     totalInjected = other.totalInjected;
@@ -73,6 +74,7 @@ FaultInjector::operator=(const FaultInjector &other)
     std::lock_guard<std::mutex> theirs(*other.mutex_);
     seed_ = other.seed_;
     rng = other.rng;
+    segRngs_ = other.segRngs_;
     budgets = other.budgets;
     injectedByKind = other.injectedByKind;
     totalInjected = other.totalInjected;
@@ -162,16 +164,27 @@ FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
 }
 
 bool
-FaultInjector::tryFire(FaultKind kind)
+FaultInjector::tryFire(FaultKind kind, Rng &stream)
 {
     auto &b = budgets[static_cast<std::size_t>(kind)];
     if (b.remaining == 0)
         return false;
-    if (!rng.nextBool(b.rate))
+    if (!stream.nextBool(b.rate))
         return false;
     --b.remaining;
     recordInjection(kind);
     return true;
+}
+
+Rng &
+FaultInjector::segmentRng(std::uint64_t segment)
+{
+    // Derive lazily from (seed, segment): the stream a segment sees is
+    // a pure function of its coordinate, independent of scheduling.
+    return segRngs_
+        .try_emplace(segment,
+                     Rng(mix64(mix64(seed_ ^ 0x5347u) ^ segment)))
+        .first->second;
 }
 
 void
@@ -185,25 +198,26 @@ FaultInjector::recordInjection(FaultKind kind)
 }
 
 FaultInjector::SvAction
-FaultInjector::onContextSwitch(FlowId)
+FaultInjector::onContextSwitch(FlowId, std::uint64_t segment)
 {
     std::lock_guard<std::mutex> lock(*mutex_);
-    if (tryFire(FaultKind::CorruptStateVector))
+    Rng &stream = segmentRng(segment);
+    if (tryFire(FaultKind::CorruptStateVector, stream))
         return SvAction::Corrupt;
-    if (tryFire(FaultKind::EvictSvcEntry))
+    if (tryFire(FaultKind::EvictSvcEntry, stream))
         return SvAction::Evict;
     return SvAction::None;
 }
 
 void
 FaultInjector::corruptVector(std::vector<StateId> &vector,
-                             StateId num_states)
+                             StateId num_states, std::uint64_t segment)
 {
     std::lock_guard<std::mutex> lock(*mutex_);
     if (num_states == 0)
         return;
-    const StateId victim =
-        static_cast<StateId>(rng.nextBelow(num_states));
+    const StateId victim = static_cast<StateId>(
+        segmentRng(segment).nextBelow(num_states));
     const auto it =
         std::lower_bound(vector.begin(), vector.end(), victim);
     if (it != vector.end() && *it == victim)
@@ -213,18 +227,21 @@ FaultInjector::corruptVector(std::vector<StateId> &vector,
 }
 
 std::uint64_t
-FaultInjector::onReportDrain(std::vector<ReportEvent> &reports)
+FaultInjector::onReportDrain(std::vector<ReportEvent> &reports,
+                             std::uint64_t segment)
 {
     std::lock_guard<std::mutex> lock(*mutex_);
+    Rng &stream = segmentRng(segment);
     std::uint64_t removed = 0;
-    if (!reports.empty() && tryFire(FaultKind::DropReport)) {
-        const std::size_t idx = rng.nextBelow(reports.size());
+    if (!reports.empty() && tryFire(FaultKind::DropReport, stream)) {
+        const std::size_t idx = stream.nextBelow(reports.size());
         reports.erase(reports.begin() +
                       static_cast<std::ptrdiff_t>(idx));
         ++removed;
     }
-    if (!reports.empty() && tryFire(FaultKind::TruncateReport)) {
-        const std::size_t keep = rng.nextBelow(reports.size());
+    if (!reports.empty() &&
+        tryFire(FaultKind::TruncateReport, stream)) {
+        const std::size_t keep = stream.nextBelow(reports.size());
         removed += reports.size() - keep;
         reports.resize(keep);
     }
@@ -235,7 +252,7 @@ bool
 FaultInjector::onFivDownload()
 {
     std::lock_guard<std::mutex> lock(*mutex_);
-    return tryFire(FaultKind::DropFiv);
+    return tryFire(FaultKind::DropFiv, rng);
 }
 
 FaultInjector::WorkerFault

@@ -23,14 +23,24 @@
  *  - crash-worker     a segment attempt dies outright (exercises
  *                     retry exhaustion and per-segment recovery).
  *
- * Every hardware fault is drawn from one seeded RNG in simulation
- * order, so a given (spec, seed) pair injects the exact same faults on
- * every run. Worker faults are decided *functionally* from a hash of
- * (seed, kind, segment) — never from the shared RNG stream — so they
- * strike the same segments for any thread count or scheduling order;
- * for them, count means "faulted attempts per affected segment" and
- * rate the per-segment selection probability. "all" arms only the
- * five hardware kinds; worker kinds must be named explicitly.
+ * Determinism model: every in-segment hardware fault (corrupt-sv,
+ * evict-svc, drop-report, truncate-report) is drawn from a per-segment
+ * RNG stream derived from (seed, segment) and consumed in that
+ * segment's simulation order, so the draw sequence a segment sees is
+ * independent of which thread runs it, of how segments interleave, and
+ * of whether execution is barrier-scheduled or pipelined against
+ * composition. The cross-segment FIV fault (drop-fiv) is drawn from a
+ * dedicated stream consumed in composition order — this is the stream
+ * rngState()/restoreRngState() checkpoint, since composition order is
+ * exactly the checkpoint frontier. Only the shared injection *budgets*
+ * couple segments; with a non-exhausted budget a given (spec, seed)
+ * pair injects the exact same faults for every thread count and
+ * pipeline mode. Worker faults are decided *functionally* from a hash
+ * of (seed, kind, segment) — no RNG stream at all — so they strike the
+ * same segments for any thread count or scheduling order; for them,
+ * count means "faulted attempts per affected segment" and rate the
+ * per-segment selection probability. "all" arms only the five hardware
+ * kinds; worker kinds must be named explicitly.
  *
  * The verification oracle (the golden sequential execution) detects
  * the resulting divergence and the runner repairs it by falling back
@@ -49,6 +59,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
@@ -110,22 +121,34 @@ class FaultInjector
     /** State-vector fault to apply to a flow at a context switch. */
     enum class SvAction : std::uint8_t { None, Corrupt, Evict };
 
-    /** Consult the injector at a context switch of @p flow. */
-    SvAction onContextSwitch(FlowId flow);
+    /**
+     * Consult the injector at a context switch of @p flow inside the
+     * segment whose stream coordinate is @p segment (callers pass the
+     * segment's absolute start offset: unique and schedule-invariant).
+     */
+    SvAction onContextSwitch(FlowId flow, std::uint64_t segment = 0);
 
     /**
      * Corrupt @p vector in place: toggle one seeded-random state below
-     * @p num_states (a single-bit SVC error), keeping it sorted.
+     * @p num_states (a single-bit SVC error), keeping it sorted. Draws
+     * from the @p segment stream of the surrounding context switch.
      */
-    void corruptVector(std::vector<StateId> &vector, StateId num_states);
+    void corruptVector(std::vector<StateId> &vector, StateId num_states,
+                       std::uint64_t segment = 0);
 
     /**
      * Possibly drop one entry and/or truncate the tail of a finished
-     * flow's report list. Returns the number of events removed.
+     * flow's report list (drawn from the @p segment stream). Returns
+     * the number of events removed.
      */
-    std::uint64_t onReportDrain(std::vector<ReportEvent> &reports);
+    std::uint64_t onReportDrain(std::vector<ReportEvent> &reports,
+                                std::uint64_t segment = 0);
 
-    /** True when the FIV/truth download between segments is dropped. */
+    /**
+     * True when the FIV/truth download between segments is dropped.
+     * Called by the composer in composition order; draws from the
+     * dedicated FIV stream the checkpoint serializes.
+     */
     bool onFivDownload();
 
     /** Host-execution fault to apply to one segment attempt. */
@@ -170,7 +193,11 @@ class FaultInjector
     /** One-line census for CLI output. */
     std::string summary() const;
 
-    /** RNG state for checkpoint serialization. */
+    /**
+     * FIV-stream RNG state for checkpoint serialization. Per-segment
+     * hardware streams are pure functions of (seed, segment) and need
+     * no serialization: a resumed run re-derives them.
+     */
     std::array<std::uint64_t, 4> rngState() const;
 
     /** Restore an RNG state captured with rngState(). */
@@ -190,17 +217,23 @@ class FaultInjector
         double rate = 1.0;
     };
 
-    /** Draw for @p kind; consumes budget and records the injection. */
-    bool tryFire(FaultKind kind);
+    /** Draw for @p kind from @p stream; consumes budget and records. */
+    bool tryFire(FaultKind kind, Rng &stream);
 
     /** Record one injection of @p kind (mutex held). */
     void recordInjection(FaultKind kind);
+
+    /** The (lazily derived) hardware stream of @p segment (mutex held). */
+    Rng &segmentRng(std::uint64_t segment);
 
     /** Hands-off lock so the injector stays movable. */
     std::unique_ptr<std::mutex> mutex_ =
         std::make_unique<std::mutex>();
     std::uint64_t seed_ = 0;
+    /** The FIV/composition-order stream (checkpointed). */
     Rng rng;
+    /** Per-segment hardware streams, keyed by stream coordinate. */
+    std::unordered_map<std::uint64_t, Rng> segRngs_;
     std::array<Budget, kFaultKindCount> budgets{};
     std::array<std::uint64_t, kFaultKindCount> injectedByKind{};
     std::uint64_t totalInjected = 0;

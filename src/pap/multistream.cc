@@ -6,7 +6,7 @@
 #include "engine/functional_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
-#include "pap/exec/driver.h"
+#include "pap/exec/pipeline.h"
 #include "pap/exec/worker_pool.h"
 #include "pap/run_common.h"
 #include "pap/runner.h"
@@ -31,6 +31,18 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     }
 
     const RunContext ctx(nfa, options.engine);
+    if (!ctx.status().ok()) {
+        MultiStreamResult failed;
+        failed.status = ctx.status();
+        return failed;
+    }
+    const Result<PipelineMode> mode_resolved =
+        resolvePipelineMode(options.pipeline);
+    if (!mode_resolved.ok()) {
+        MultiStreamResult failed;
+        failed.status = mode_resolved.status();
+        return failed;
+    }
     const CompiledNfa &cnfa = ctx.compiled();
     std::uint64_t total_symbols = 0;
     for (const auto &stream : streams)
@@ -75,8 +87,13 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
         options, exec::WorkerPool::resolveThreads(options.threads),
         longest);
     result.threadsUsed = exec_opt.threads;
-    const auto task_reports = exec::runHardened(
-        exec_opt, streams.size(),
+    exec::SegmentPipeline::Options pipe_opt;
+    pipe_opt.exec = exec_opt;
+    pipe_opt.overlap =
+        mode_resolved.value() == PipelineMode::Overlap;
+    pipe_opt.window = options.pipelineWindow;
+    exec::SegmentPipeline pipe(
+        pipe_opt, streams.size(),
         [&](std::size_t i,
             const exec::CancellationToken &cancel) -> Status {
             if (!run_stream(i, &cancel))
@@ -85,19 +102,6 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
                                      " cancelled by the watchdog");
             return Status();
         });
-    for (std::size_t i = 0; i < streams.size(); ++i) {
-        if (task_reports[i].status.ok())
-            continue;
-        warn("multiplexed stream ", i, " failed (",
-             task_reports[i].status.message(),
-             "); recomputing it inline");
-        obs::metrics().add("exec.segments.recovered");
-        run_stream(i, nullptr);
-        if (options.faultInjector &&
-            task_reports[i].faultsInjected > 0)
-            options.faultInjector->markRecovered(
-                task_reports[i].faultsInjected);
-    }
 
     // Timing model: round-robin TDM over the streams with the flow
     // switch cost, exactly as a single half-core would interleave
@@ -138,6 +142,20 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
     // sequential execution; a diverged stream is repaired from it.
     result.verified = true;
     for (std::size_t i = 0; i < streams.size(); ++i) {
+        // Handoff: the timing arithmetic above never touches raw[i],
+        // so the first wait on stream i is here, right before its
+        // reports are consumed. A slot whose retries were exhausted
+        // is recomputed inline (standalone oracle continuation).
+        const exec::TaskReport &tr = pipe.await(i);
+        if (!tr.status.ok()) {
+            warn("multiplexed stream ", i, " failed (",
+                 tr.status.message(), "); recomputing it inline");
+            obs::metrics().add("exec.segments.recovered");
+            run_stream(i, nullptr);
+            if (options.faultInjector && tr.faultsInjected > 0)
+                options.faultInjector->markRecovered(
+                    tr.faultsInjected);
+        }
         result.reports[i] = std::move(raw[i]);
         sortAndDedupReports(result.reports[i]);
         // The standalone oracle always runs on the sparse reference

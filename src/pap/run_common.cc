@@ -1,6 +1,7 @@
 #include "pap/run_common.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 
@@ -14,6 +15,52 @@ RunContext::RunContext(const Nfa &nfa, EngineKind requested)
     m.add(ctx.dense() ? "engine.runs.dense" : "engine.runs.sparse");
     // Gauge encoding: 0 = sparse, 1 = dense (last run wins).
     m.setGauge("engine.backend", ctx.dense() ? 1.0 : 0.0);
+}
+
+Result<PipelineMode>
+parsePipelineMode(std::string_view text)
+{
+    if (text == "barrier")
+        return PipelineMode::Barrier;
+    if (text == "overlap")
+        return PipelineMode::Overlap;
+    if (text == "auto")
+        return PipelineMode::Auto;
+    return Status::error(ErrorCode::InvalidInput, "unknown pipeline '",
+                         std::string(text),
+                         "' (expected barrier, overlap, or auto)");
+}
+
+const char *
+pipelineModeName(PipelineMode mode)
+{
+    switch (mode) {
+    case PipelineMode::Barrier:
+        return "barrier";
+    case PipelineMode::Overlap:
+        return "overlap";
+    case PipelineMode::Auto:
+        return "auto";
+    }
+    PAP_PANIC("invalid PipelineMode ", static_cast<int>(mode));
+}
+
+Result<PipelineMode>
+resolvePipelineMode(PipelineMode requested)
+{
+    if (requested == PipelineMode::Auto) {
+        if (const char *env = std::getenv("PAP_PIPELINE")) {
+            const Result<PipelineMode> parsed = parsePipelineMode(env);
+            if (!parsed.ok())
+                return Status::error(ErrorCode::InvalidInput,
+                                     "PAP_PIPELINE: ",
+                                     parsed.status().message());
+            requested = parsed.value();
+        }
+    }
+    if (requested != PipelineMode::Auto)
+        return requested;
+    return PipelineMode::Barrier;
 }
 
 exec::HardenedExecOptions

@@ -44,10 +44,31 @@ class RunContext
     /** Name of the selected backend ("sparse" or "dense"). */
     const char *backendName() const { return ctx.backendName(); }
 
+    /**
+     * OK, or the typed selection error (an invalid PAP_ENGINE value).
+     * Run drivers must check this and fail the run with it instead of
+     * silently executing on the fallback backend.
+     */
+    const Status &status() const { return ctx.status(); }
+
   private:
     std::unique_ptr<const CompiledNfa> cnfa;
     EngineContext ctx;
 };
+
+/** Parse "barrier" / "overlap" / "auto"; typed InvalidInput otherwise. */
+Result<PipelineMode> parsePipelineMode(std::string_view text);
+
+/** Stable name of @p mode ("barrier", "overlap", "auto"). */
+const char *pipelineModeName(PipelineMode mode);
+
+/**
+ * Resolve @p requested to a concrete scheduling mode. Auto consults
+ * PAP_PIPELINE — an invalid value is a typed InvalidInput error, like
+ * an invalid --pipeline flag — then defaults to Barrier. A successful
+ * result is never Auto.
+ */
+Result<PipelineMode> resolvePipelineMode(PipelineMode requested);
 
 /**
  * Build the hardened-driver options every runner derives from

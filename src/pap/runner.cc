@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <thread>
 
 #include "ap/placement.h"
 #include "common/logging.h"
@@ -13,6 +15,7 @@
 #include "pap/composer.h"
 #include "pap/exec/checkpoint.h"
 #include "pap/exec/driver.h"
+#include "pap/exec/pipeline.h"
 #include "pap/exec/worker_pool.h"
 #include "pap/fault_injector.h"
 #include "pap/flow_plan.h"
@@ -30,6 +33,11 @@ runSequential(const Nfa &nfa, const InputTrace &input,
     PAP_TRACE_SCOPE("pap.sequential");
     CompiledNfa cnfa(nfa);
     const EngineContext engines(cnfa, options.engine);
+    if (!engines.status().ok()) {
+        SequentialResult failed;
+        failed.status = engines.status();
+        return failed;
+    }
     const auto engine = engines.make(/*starts=*/true);
     engine->reset(cnfa.initialActive(), 0);
     engine->run(input.begin(), input.size());
@@ -213,6 +221,28 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     if (sink)
         sink->begin("pap.analyze");
     const RunContext ctx(nfa, options.engine);
+    if (!ctx.status().ok()) {
+        // Typed selection error (an invalid PAP_ENGINE value): the
+        // run must fail like an invalid --engine flag, not silently
+        // execute on a fallback backend.
+        if (sink)
+            sink->end();
+        result.status = ctx.status();
+        recordRunMetrics(result);
+        return result;
+    }
+    const Result<PipelineMode> mode_resolved =
+        resolvePipelineMode(options.pipeline);
+    if (!mode_resolved.ok()) {
+        if (sink)
+            sink->end();
+        result.status = mode_resolved.status();
+        recordRunMetrics(result);
+        return result;
+    }
+    const bool overlap =
+        mode_resolved.value() == PipelineMode::Overlap;
+    result.pipelineMode = pipelineModeName(mode_resolved.value());
     const CompiledNfa &cnfa = ctx.compiled();
     result.engineBackend = ctx.backendName();
     const Components comps = connectedComponents(nfa);
@@ -414,13 +444,23 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
 
     // Every task writes only its own runs[j] / seg_batches[j] slot, so
     // scheduling order cannot leak into the results; all reductions
-    // below run in segment order.
-    const auto task_reports = exec::runHardened(
-        exec_opt, segs.size() - first_segment,
+    // run in segment order in the composition loop below, as the
+    // composer awaits each segment. In barrier mode the pipeline
+    // constructor runs every segment to completion (the historical
+    // behavior); in overlap mode it returns once the first handoff
+    // window is submitted and the composer overlaps with execution.
+    exec::SegmentPipeline::Options pipe_opt;
+    pipe_opt.exec = exec_opt;
+    pipe_opt.overlap = overlap;
+    pipe_opt.window = options.pipelineWindow;
+    const auto region_t0 = std::chrono::steady_clock::now();
+    exec::SegmentPipeline pipe(
+        pipe_opt, segs.size() - first_segment,
         [&](std::size_t idx,
             const exec::CancellationToken &cancel) -> Status {
             const std::size_t j = first_segment + idx;
             const Segment &s = segs[j];
+            const auto task_t0 = std::chrono::steady_clock::now();
             EngineScratch scratch(nfa.size());
             SegmentRun run;
             std::uint32_t batches = 1;
@@ -468,6 +508,23 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                 }
                 batches = std::max(1u, b);
             }
+            if (options.emulateDeviceNsPerSymbol > 0.0) {
+                // Emulate the AP device streaming this segment: the
+                // task occupies at least length * ns of wall-clock,
+                // sleeping out whatever the simulation left over
+                // (cancellation-aware, so the watchdog still works).
+                const auto device = std::chrono::nanoseconds(
+                    static_cast<std::int64_t>(
+                        static_cast<double>(s.length()) *
+                        options.emulateDeviceNsPerSymbol));
+                const auto elapsed =
+                    std::chrono::steady_clock::now() - task_t0;
+                if (device > elapsed)
+                    cancel.waitCancelledFor(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(device -
+                                                      elapsed));
+            }
             if (cancel.cancelled())
                 return Status::error(ErrorCode::DeadlineExceeded,
                                      "segment ", j,
@@ -476,32 +533,16 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             seg_batches[j] = batches;
             return Status();
         });
-
-    // Ordered reduction over the execute phase.
-    std::vector<std::uint8_t> seg_failed(segs.size(), 0);
-    std::vector<std::uint8_t> seg_retried(segs.size(), 0);
-    for (std::size_t i = 0; i < task_reports.size(); ++i) {
-        const std::size_t j = first_segment + i;
-        const auto &tr = task_reports[i];
-        seg_retried[j] = tr.retried ? 1 : 0;
-        if (!tr.status.ok()) {
-            seg_failed[j] = 1;
-            seg_batches[j] = 1;
-            warn("segment ", j, " failed after ", tr.attempts,
-                 " attempts (", tr.status.message(),
-                 "); recovering it from the sequential oracle");
-        }
-        result.svcBatches =
-            std::max(result.svcBatches, seg_batches[j]);
-        if (seg_batches[j] > 1)
-            obs::metrics().add("runner.svc_batches", seg_batches[j]);
-    }
+    obs::metrics().add(overlap ? "pipeline.runs.overlap"
+                               : "pipeline.runs.barrier");
     if (sink)
         sink->end({{"segments", static_cast<double>(segs.size())},
                    {"threads",
                     static_cast<double>(result.threadsUsed)},
-                   {"max_batches",
-                    static_cast<double>(result.svcBatches)}});
+                   {"overlap", overlap ? 1.0 : 0.0}});
+
+    std::vector<std::uint8_t> seg_failed(segs.size(), 0);
+    std::vector<std::uint8_t> seg_retried(segs.size(), 0);
 
     // --- Composition chain ------------------------------------------
     if (sink)
@@ -542,6 +583,25 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
 
     for (std::size_t j = first_segment; j < segs.size(); ++j) {
         const Segment &s = segs[j];
+        // Handoff: block until this segment's execution has finished
+        // (a no-op in barrier mode, where the pipeline constructor
+        // already drained) and fold its ordered reduction. Doing the
+        // reduction here, in segment order, keeps every cross-task
+        // aggregate identical between the two scheduling modes.
+        const exec::TaskReport &tr = pipe.await(j - first_segment);
+        const auto compose_t0 = std::chrono::steady_clock::now();
+        seg_retried[j] = tr.retried ? 1 : 0;
+        if (!tr.status.ok()) {
+            seg_failed[j] = 1;
+            seg_batches[j] = 1;
+            warn("segment ", j, " failed after ", tr.attempts,
+                 " attempts (", tr.status.message(),
+                 "); recovering it from the sequential oracle");
+        }
+        result.svcBatches =
+            std::max(result.svcBatches, seg_batches[j]);
+        if (seg_batches[j] > 1)
+            obs::metrics().add("runner.svc_batches", seg_batches[j]);
         // A dropped inter-segment downlink loses the predecessor's
         // true final active set; composition then judges this
         // segment's paths against an empty T (the verification oracle
@@ -579,10 +639,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             truths[j] = composeGolden(runs[j]);
             // The oracle repaired whatever the injected worker faults
             // broke; close their detected/recovered loop.
-            if (injector &&
-                task_reports[j - first_segment].faultsInjected > 0)
-                injector->markRecovered(
-                    task_reports[j - first_segment].faultsInjected);
+            if (injector && tr.faultsInjected > 0)
+                injector->markRecovered(tr.faultsInjected);
         } else if (j == 0) {
             truths[0] = composeGolden(runs[0]);
         } else {
@@ -595,6 +653,30 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         for (const auto &rec : runs[j].flows) {
             flow_transitions += rec.counters.matches;
             result.flowSymbolCycles += rec.counters.symbols;
+        }
+
+        if (options.emulateDeviceNsPerSymbol > 0.0 && j > 0 &&
+            !plans[j].flows.empty() && !seg_failed[j]) {
+            // Emulate the host's modeled Tcpu for this segment in
+            // wall-clock (upload + decode, the same formula the
+            // timeline charges — Fig. 11), at the emulated device
+            // rate, net of the real compose time just spent. This is
+            // the serial host work the overlap schedule exists to
+            // hide behind later segments' device time.
+            Cycles decode = options.decodeBaseCycles;
+            if (truths[j].aliveEnumFlowsAtEnd > 0)
+                decode += options.decodePerFlowCycles *
+                          truths[j].aliveEnumFlowsAtEnd;
+            const auto tcpu = std::chrono::nanoseconds(
+                static_cast<std::int64_t>(
+                    static_cast<double>(
+                        config.timing.stateVectorUploadCycles +
+                        decode) *
+                    options.emulateDeviceNsPerSymbol));
+            const auto spent =
+                std::chrono::steady_clock::now() - compose_t0;
+            if (tcpu > spent)
+                std::this_thread::sleep_for(tcpu - spent);
         }
 
         if (checkpointing) {
@@ -633,10 +715,12 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         }
 
         if (options.stopAfterSegment >= 0 &&
-            j == static_cast<std::uint64_t>(options.stopAfterSegment) &&
-            j + 1 < segs.size()) {
+            j == static_cast<std::uint64_t>(options.stopAfterSegment)) {
             // Simulated kill for crash/resume tests: stop mid-chain
-            // with the checkpoint (if any) on disk.
+            // with the checkpoint (if any) on disk. Stopping after the
+            // last segment is allowed too — it leaves a fully-complete
+            // frontier (nextSegment == segs.size()) whose resume is a
+            // pure compose-from-checkpoint run.
             if (sink)
                 sink->end();
             result.status = Status::error(
@@ -647,6 +731,27 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             return result;
         }
     }
+    // Pipeline census: wall-clock of the execute+compose region and
+    // how much of it the composer spent blocked on segment handoffs.
+    // Diagnostics only — reports and modeled metrics never depend on
+    // these numbers.
+    result.pipelineWallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - region_t0)
+            .count();
+    result.composerStallMs = pipe.composerStallMs();
+    result.pipelineOccupancy =
+        result.pipelineWallMs > 0.0
+            ? std::max(0.0, 1.0 - result.composerStallMs /
+                                      result.pipelineWallMs)
+            : 1.0;
+    obs::metrics().add("pipeline.composer.stalls",
+                       pipe.composerStalls());
+    obs::metrics().observe("pipeline.composer.stall_ms",
+                           result.composerStallMs);
+    obs::metrics().setGauge("pipeline.occupancy",
+                            result.pipelineOccupancy);
+
     result.transitionRatio =
         seq.matches ? static_cast<double>(flow_transitions) /
                           static_cast<double>(seq.matches)

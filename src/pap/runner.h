@@ -34,6 +34,11 @@ struct SequentialResult
     std::uint64_t matches = 0;
     /** Backend that executed the run ("sparse" or "dense"). */
     std::string engineBackend = "sparse";
+    /**
+     * Non-Ok only when the run could not execute at all (an invalid
+     * PAP_ENGINE value); all other fields are defaulted then.
+     */
+    Status status;
 };
 
 /** Run @p nfa sequentially over @p input. */
@@ -134,6 +139,18 @@ struct PapResult
     bool resumedFromCheckpoint = false;
     /** Segments skipped because the checkpoint had composed them. */
     std::uint32_t resumedSegments = 0;
+
+    // Pipeline census (execution vs composition scheduling). These
+    // describe wall-clock only; they never influence reports or the
+    // modeled per-figure metrics.
+    /** Scheduling mode that ran ("barrier" or "overlap"). */
+    std::string pipelineMode = "barrier";
+    /** Wall-clock of the execute+compose region, ms. */
+    double pipelineWallMs = 0.0;
+    /** Wall-clock the composer spent blocked on segments, ms. */
+    double composerStallMs = 0.0;
+    /** 1 - stall/wall over the region (1.0 = composer never waited). */
+    double pipelineOccupancy = 1.0;
 
     /** Per-segment diagnostics (input order). */
     struct SegmentDiag

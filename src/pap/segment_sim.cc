@@ -49,7 +49,7 @@ runGoldenSegment(const EngineContext &engines, const Symbol *data,
     rec.counters = engine->counters();
     rec.reports = engine->takeReports();
     if (injector)
-        injector->onReportDrain(rec.reports);
+        injector->onReportDrain(rec.reports, seg_begin);
     run.flows.push_back(std::move(rec));
     return run;
 }
@@ -184,11 +184,13 @@ runEnumSegment(const EngineContext &engines, const FlowPlan &plan,
             for (auto &lf : live) {
                 if (!lf.alive)
                     continue;
-                switch (injector->onContextSwitch(lf.record.id)) {
+                switch (injector->onContextSwitch(lf.record.id,
+                                                 seg_begin)) {
                   case FaultInjector::SvAction::Corrupt: {
                     std::vector<StateId> v = lf.engine->snapshot();
                     injector->corruptVector(
-                        v, static_cast<StateId>(cnfa.size()));
+                        v, static_cast<StateId>(cnfa.size()),
+                        seg_begin);
                     lf.engine->overwriteActive(v);
                     break;
                   }
@@ -246,7 +248,7 @@ runEnumSegment(const EngineContext &engines, const FlowPlan &plan,
         lf.record.counters = lf.engine->counters();
         lf.record.reports = lf.engine->takeReports();
         if (injector)
-            injector->onReportDrain(lf.record.reports);
+            injector->onReportDrain(lf.record.reports, seg_begin);
         run.flows.push_back(std::move(lf.record));
     }
     run.asgIndex = asg_live_index;

@@ -7,7 +7,7 @@
 #include "engine/functional_engine.h"
 #include "nfa/analysis.h"
 #include "obs/metrics.h"
-#include "pap/exec/driver.h"
+#include "pap/exec/pipeline.h"
 #include "pap/exec/worker_pool.h"
 #include "pap/partitioner.h"
 #include "pap/run_common.h"
@@ -42,6 +42,16 @@ runSpeculative(const Nfa &nfa, const InputTrace &input,
     result.name = nfa.name();
 
     const RunContext ctx(nfa, options.engine);
+    if (!ctx.status().ok()) {
+        result.status = ctx.status();
+        return result;
+    }
+    const Result<PipelineMode> mode_resolved =
+        resolvePipelineMode(options.pipeline);
+    if (!mode_resolved.ok()) {
+        result.status = mode_resolved.status();
+        return result;
+    }
     const CompiledNfa &cnfa = ctx.compiled();
     result.engineBackend = ctx.backendName();
     const Components comps = connectedComponents(nfa);
@@ -138,8 +148,12 @@ runSpeculative(const Nfa &nfa, const InputTrace &input,
     exec::HardenedExecOptions exec_opt;
     exec_opt.threads = exec::WorkerPool::resolveThreads(options.threads);
     result.threadsUsed = exec_opt.threads;
-    const auto task_reports = exec::runHardened(
-        exec_opt, segs.size(),
+    exec::SegmentPipeline::Options pipe_opt;
+    pipe_opt.exec = exec_opt;
+    pipe_opt.overlap =
+        mode_resolved.value() == PipelineMode::Overlap;
+    exec::SegmentPipeline pipe(
+        pipe_opt, segs.size(),
         [&](std::size_t j,
             const exec::CancellationToken &cancel) -> Status {
             EngineScratch task_scratch(nfa.size());
@@ -149,26 +163,29 @@ runSpeculative(const Nfa &nfa, const InputTrace &input,
                                      " cancelled by the watchdog");
             return Status();
         });
-    for (std::size_t j = 0; j < segs.size(); ++j) {
-        if (task_reports[j].status.ok())
-            continue;
-        // Retries exhausted: recompute the slot inline (sequential
-        // oracle continuation of the speculative phase).
+    // Awaiting a slot also handles retry exhaustion: the slot is
+    // recomputed inline (sequential oracle continuation), so the
+    // truth chain below always consumes a valid spec[j].
+    const auto await_slot = [&](std::size_t j) {
+        const exec::TaskReport &tr = pipe.await(j);
+        if (tr.status.ok())
+            return;
         warn("speculative segment ", j, " failed (",
-             task_reports[j].status.message(),
-             "); recomputing it inline");
+             tr.status.message(), "); recomputing it inline");
         obs::metrics().add("exec.segments.recovered");
         speculate(j, scratch, nullptr);
-    }
+    };
 
     // Phase 2 (truth chain): validate each prediction against the
     // true start set; on a miss, patch-run the missing activity.
     std::uint32_t correct = 1; // segment 0 is trivially correct
     std::vector<bool> mispredicted(segs.size(), false);
+    await_slot(0);
     std::vector<StateId> true_start = spec[0].specFinal;
     result.reports = spec[0].specReports;
 
     for (std::size_t j = 1; j < segs.size(); ++j) {
+        await_slot(j);
         // Prediction is always a subset of the truth (activity born
         // in the window is a subset of all live activity).
         PAP_ASSERT(std::includes(true_start.begin(), true_start.end(),

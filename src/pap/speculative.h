@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ap/ap_config.h"
+#include "common/error.h"
 #include "engine/report.h"
 #include "engine/trace.h"
 #include "nfa/nfa.h"
@@ -54,6 +55,13 @@ struct SpeculationOptions
      * thread). Results are identical for every thread count.
      */
     std::uint32_t threads = 1;
+    /**
+     * Execution/composition scheduling (see PapOptions::pipeline):
+     * barrier runs every speculative segment before the truth chain
+     * starts; overlap validates segment j while later segments still
+     * execute. Reports are identical either way.
+     */
+    PipelineMode pipeline = PipelineMode::Auto;
 };
 
 /** Outcome of a speculative parallel run. */
@@ -81,6 +89,11 @@ struct SpeculationResult
     bool recovered = false;
     /** Host threads the speculative phase ran on. */
     std::uint32_t threadsUsed = 1;
+    /**
+     * Non-Ok only when the run could not execute at all (an invalid
+     * PAP_ENGINE / PAP_PIPELINE value); other fields are defaulted.
+     */
+    Status status;
 };
 
 /**

@@ -27,9 +27,11 @@ RULES
 "$PAPSIM" run m.nfa t.bin --ranks=4 --verbose --threads=8 > run_t8.txt
 grep -q "exec: 2 host threads" run_t2.txt
 grep -q "exec: 8 host threads" run_t8.txt
-# Strip the exec summary (the only line allowed to differ) and compare.
-grep -v "^  exec:" run_t2.txt | cmp - run_t1.txt
-grep -v "^  exec:" run_t8.txt | cmp - run_t1.txt
+# Strip the exec and pipeline summaries (the only lines allowed to
+# differ: thread census and wall-clock timings) and compare.
+grep -v "^  exec:\|^  pipeline:" run_t1.txt > run_t1.stripped
+grep -v "^  exec:\|^  pipeline:" run_t2.txt | cmp - run_t1.stripped
+grep -v "^  exec:\|^  pipeline:" run_t8.txt | cmp - run_t1.stripped
 
 # PAP_THREADS sets the default; the flag wins over it.
 PAP_THREADS=2 "$PAPSIM" run m.nfa t.bin --ranks=4 \
@@ -94,7 +96,10 @@ echo "$STALLED" | grep -q "recovered"
 
 # --- Checkpoint / resume --------------------------------------------
 
-FULL=$("$PAPSIM" run m.nfa t.bin --ranks=4 --verbose)
+# Wall-clock pipeline timings are the one nondeterministic verbose
+# line; strip them from every byte comparison below.
+FULL=$("$PAPSIM" run m.nfa t.bin --ranks=4 --verbose \
+    | grep -v "^  pipeline:")
 
 # Kill the run after composing segment 1: non-zero exit, checkpoint
 # left on disk.
@@ -110,7 +115,7 @@ test -f run.ckpt
 "$PAPSIM" run m.nfa t.bin --ranks=4 --verbose --checkpoint=run.ckpt \
     > resumed.txt
 grep -q "resumed from checkpoint: 2 segments" resumed.txt
-grep -v "^  resumed from checkpoint:" resumed.txt \
+grep -v "^  resumed from checkpoint:\|^  pipeline:" resumed.txt \
     | diff - <(echo "$FULL")
 test ! -f run.ckpt
 
@@ -122,6 +127,7 @@ printf 'garbage' | dd of=run.ckpt bs=1 seek=16 conv=notrunc \
 "$PAPSIM" run m.nfa t.bin --ranks=4 --verbose --checkpoint=run.ckpt \
     2>/dev/null > fresh.txt
 if grep -q "resumed from checkpoint" fresh.txt; then exit 1; fi
-grep -v "^  resumed from checkpoint:" fresh.txt | diff - <(echo "$FULL")
+grep -v "^  resumed from checkpoint:\|^  pipeline:" fresh.txt \
+    | diff - <(echo "$FULL")
 
 echo "robust smoke ok"

@@ -310,27 +310,81 @@ TEST(EngineSelect, ResolveHonorsExplicitRequestAndThreshold)
 {
     ::unsetenv("PAP_ENGINE");
     // Explicit requests ignore the threshold entirely.
-    EXPECT_EQ(resolveEngineKind(EngineKind::Sparse, 1), EngineKind::Sparse);
-    EXPECT_EQ(resolveEngineKind(EngineKind::Dense, 1u << 20),
+    EXPECT_EQ(resolveEngineKind(EngineKind::Sparse, 1).value(),
+              EngineKind::Sparse);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Dense, 1u << 20).value(),
               EngineKind::Dense);
     // Auto: dense up to the threshold, sparse beyond it.
-    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, kDenseAutoMaxStates),
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto,
+                                kDenseAutoMaxStates).value(),
               EngineKind::Dense);
-    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, kDenseAutoMaxStates + 1),
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto,
+                                kDenseAutoMaxStates + 1).value(),
               EngineKind::Sparse);
 }
 
 TEST(EngineSelect, ResolveConsultsEnvironmentOnlyForAuto)
 {
     ::setenv("PAP_ENGINE", "sparse", 1);
-    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 4), EngineKind::Sparse);
-    EXPECT_EQ(resolveEngineKind(EngineKind::Dense, 4), EngineKind::Dense);
-    ::setenv("PAP_ENGINE", "dense", 1);
-    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 1u << 20),
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 4).value(),
+              EngineKind::Sparse);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Dense, 4).value(),
               EngineKind::Dense);
-    // An invalid value warns and falls back to the threshold.
+    ::setenv("PAP_ENGINE", "dense", 1);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 1u << 20).value(),
+              EngineKind::Dense);
+    ::unsetenv("PAP_ENGINE");
+}
+
+TEST(EngineSelect, InvalidEnvironmentIsATypedError)
+{
+    // An invalid PAP_ENGINE value fails exactly like an invalid
+    // --engine flag: a typed InvalidInput error, never a silent
+    // fallback to the threshold (and never for explicit requests,
+    // which don't consult the environment at all).
     ::setenv("PAP_ENGINE", "wat", 1);
-    EXPECT_EQ(resolveEngineKind(EngineKind::Auto, 4), EngineKind::Dense);
+    const Result<EngineKind> bad = resolveEngineKind(EngineKind::Auto, 4);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidInput);
+    EXPECT_NE(bad.status().message().find("PAP_ENGINE"),
+              std::string::npos);
+    EXPECT_NE(bad.status().message().find("wat"), std::string::npos);
+    EXPECT_EQ(resolveEngineKind(EngineKind::Sparse, 4).value(),
+              EngineKind::Sparse);
+    ::unsetenv("PAP_ENGINE");
+}
+
+TEST(EngineSelect, ContextCarriesSelectionErrorAndStaysUsable)
+{
+    const Nfa nfa = compileRuleset({{"ab", 1}}, "m");
+    const CompiledNfa cnfa(nfa);
+    ::setenv("PAP_ENGINE", "bogus", 1);
+    const EngineContext ctx(cnfa, EngineKind::Auto);
+    EXPECT_FALSE(ctx.status().ok());
+    EXPECT_EQ(ctx.status().code(), ErrorCode::InvalidInput);
+    // The context itself stays constructed on the sparse fallback so
+    // callers can decide how to surface the error.
+    EXPECT_FALSE(ctx.dense());
+    EXPECT_STREQ(ctx.backendName(), "sparse");
+    ::unsetenv("PAP_ENGINE");
+    const EngineContext good(cnfa, EngineKind::Auto);
+    EXPECT_TRUE(good.status().ok());
+}
+
+TEST(EngineSelect, RunnersFailTypedOnInvalidEnvironment)
+{
+    const Nfa nfa = compileRuleset({{"ab", 1}}, "m");
+    const InputTrace input(
+        std::vector<Symbol>(64, static_cast<Symbol>('a')));
+    ::setenv("PAP_ENGINE", "nope", 1);
+    const SequentialResult seq = runSequential(nfa, input);
+    EXPECT_FALSE(seq.status.ok());
+    EXPECT_EQ(seq.status.code(), ErrorCode::InvalidInput);
+    EXPECT_TRUE(seq.reports.empty());
+    const PapResult par =
+        runPap(nfa, input, ApConfig::d480(1), PapOptions{});
+    EXPECT_FALSE(par.status.ok());
+    EXPECT_EQ(par.status.code(), ErrorCode::InvalidInput);
     ::unsetenv("PAP_ENGINE");
 }
 

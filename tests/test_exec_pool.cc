@@ -19,6 +19,7 @@
 #include "pap/exec/cancellation.h"
 #include "pap/exec/checkpoint.h"
 #include "pap/exec/driver.h"
+#include "pap/exec/pipeline.h"
 #include "pap/exec/watchdog.h"
 #include "pap/exec/worker_pool.h"
 #include "pap/fault_injector.h"
@@ -63,6 +64,162 @@ TEST(WorkerPool, DrainIsReusable)
     pool.submit([&n] { n.fetch_add(1); });
     pool.drain();
     EXPECT_EQ(n.load(), 3);
+}
+
+TEST(WorkerPool, SubmitAfterStopIsRejected)
+{
+    WorkerPool pool(2);
+    std::atomic<int> n{0};
+    EXPECT_TRUE(pool.submit([&n] { n.fetch_add(1); }));
+    pool.stop();
+    // The contract: a submit that races or follows stop() returns
+    // false instead of silently dropping the task (or aborting).
+    EXPECT_FALSE(pool.submit([&n] { n.fetch_add(1); }));
+    EXPECT_FALSE(pool.submit([&n] { n.fetch_add(1); }));
+}
+
+TEST(WorkerPool, DrainWaitsForRunningAndQueuedTasks)
+{
+    WorkerPool pool(1);
+    std::atomic<int> done{0};
+    CancellationToken release;
+    // First task blocks the single worker; the second is queued
+    // behind it. drain() must wait for BOTH (queued + running), not
+    // just the queue to empty.
+    pool.submit([&] {
+        release.waitCancelledFor(std::chrono::milliseconds(10000));
+        done.fetch_add(1);
+    });
+    pool.submit([&done] { done.fetch_add(1); });
+    EXPECT_EQ(pool.pending(), 2u);
+    std::thread releaser([&release] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        release.cancel();
+    });
+    pool.drain();
+    EXPECT_EQ(done.load(), 2);
+    EXPECT_EQ(pool.pending(), 0u);
+    releaser.join();
+}
+
+TEST(WorkerPool, ConcurrentSubmitAndDrainNeverLosesTasks)
+{
+    // TSan regression for the drain()-vs-submit() contract: external
+    // submitters race stop(); every accepted task must have fully run
+    // by the time drain() returns, and rejected tasks must not run.
+    for (int round = 0; round < 8; ++round) {
+        WorkerPool pool(4);
+        std::atomic<int> accepted{0};
+        std::atomic<int> executed{0};
+        std::vector<std::thread> submitters;
+        std::atomic<bool> go{false};
+        for (int t = 0; t < 4; ++t)
+            submitters.emplace_back([&] {
+                while (!go.load())
+                    std::this_thread::yield();
+                for (int i = 0; i < 64; ++i)
+                    if (pool.submit(
+                            [&executed] { executed.fetch_add(1); }))
+                        accepted.fetch_add(1);
+            });
+        go.store(true);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        pool.stop();
+        for (auto &s : submitters)
+            s.join();
+        pool.drain();
+        EXPECT_EQ(executed.load(), accepted.load());
+    }
+}
+
+// --- SegmentPipeline -------------------------------------------------
+
+TEST(SegmentPipeline, BarrierModeRunsEverythingBeforeAwait)
+{
+    SegmentPipeline::Options opt;
+    opt.exec.threads = 2;
+    opt.overlap = false;
+    std::atomic<int> ran{0};
+    SegmentPipeline pipe(opt, 8,
+                         [&](std::size_t, const CancellationToken &) {
+                             ran.fetch_add(1);
+                             return Status();
+                         });
+    // Barrier mode: the constructor is the barrier.
+    EXPECT_EQ(ran.load(), 8);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(pipe.await(i).status.ok());
+    EXPECT_EQ(pipe.composerStalls(), 0u);
+}
+
+TEST(SegmentPipeline, OverlapModeBoundsTheAdmissionWindow)
+{
+    SegmentPipeline::Options opt;
+    opt.exec.threads = 4;
+    opt.overlap = true;
+    opt.window = 2;
+    std::atomic<int> started{0};
+    CancellationToken release;
+    SegmentPipeline pipe(
+        opt, 6, [&](std::size_t, const CancellationToken &) {
+            started.fetch_add(1);
+            release.waitCancelledFor(std::chrono::milliseconds(10000));
+            return Status();
+        });
+    // Only the first window of tasks may start while the composer
+    // has not consumed anything (frontier = 0, window = 2).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_LE(started.load(), 2);
+    release.cancel();
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_TRUE(pipe.await(i).status.ok());
+    EXPECT_EQ(started.load(), 6);
+}
+
+TEST(SegmentPipeline, AwaitReturnsSlotsInAnyOrderRequested)
+{
+    SegmentPipeline::Options opt;
+    opt.exec.threads = 4;
+    opt.overlap = true;
+    std::vector<int> slot(10, 0);
+    SegmentPipeline pipe(opt, slot.size(),
+                         [&](std::size_t i, const CancellationToken &) {
+                             slot[i] = static_cast<int>(i) + 1;
+                             return Status();
+                         });
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+        EXPECT_TRUE(pipe.await(i).status.ok());
+        EXPECT_EQ(slot[i], static_cast<int>(i) + 1);
+    }
+}
+
+TEST(SegmentPipeline, CancelRemainingStopsUnstartedTasks)
+{
+    SegmentPipeline::Options opt;
+    opt.exec.threads = 1;
+    opt.overlap = true;
+    opt.window = 1;
+    CancellationToken release;
+    std::atomic<int> ran{0};
+    SegmentPipeline pipe(
+        opt, 16, [&](std::size_t, const CancellationToken &) {
+            ran.fetch_add(1);
+            release.waitCancelledFor(std::chrono::milliseconds(10000));
+            return Status();
+        });
+    pipe.cancelRemaining();
+    release.cancel();
+    // Destructor drains; tasks past the admission window must report
+    // Cancelled without having run.
+    std::uint32_t cancelled = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+        const TaskReport &tr = pipe.await(i);
+        if (!tr.status.ok() &&
+            tr.status.code() == ErrorCode::Cancelled)
+            ++cancelled;
+    }
+    EXPECT_GE(cancelled, 14u);
+    EXPECT_LE(ran.load(), 2);
 }
 
 // --- CancellationToken -----------------------------------------------

@@ -48,6 +48,7 @@
 #include "nfa/nfa_io.h"
 #include "nfa/prefix_merge.h"
 #include "pap/fault_injector.h"
+#include "pap/run_common.h"
 #include "pap/runner.h"
 #include "pap/speculative.h"
 #include "workloads/benchmarks.h"
@@ -72,6 +73,7 @@ usage()
         "           [--verbose] [--metrics-json=PATH]\n"
         "           [--trace-out=PATH] [--profile]\n"
         "           [--engine=sparse|dense|auto]\n"
+        "           [--pipeline=barrier|overlap|auto]\n"
         "           [--overflow=batch|sequential|fail]\n"
         "           [--threads=N] [--checkpoint=PATH]\n"
         "           [--deadline-ms=X] [--max-retries=N]\n"
@@ -82,6 +84,9 @@ usage()
         "           absent. --engine picks the execution backend\n"
         "           (default auto: PAP_ENGINE, then a state-count\n"
         "           threshold); results are identical either way.\n"
+        "           --pipeline schedules host execution vs\n"
+        "           composition (default auto: PAP_PIPELINE, then\n"
+        "           barrier); reports are identical either way.\n"
         "           SPEC: kind[:count[:rate]],... with kinds\n"
         "           corrupt-sv evict-svc drop-report truncate-report\n"
         "           drop-fiv stall-worker crash-worker all\n"
@@ -425,6 +430,17 @@ cmdRun(const std::vector<std::string> &args)
         engine = parsed.value();
     }
 
+    // Execution/composition scheduling: an explicit flag is validated
+    // here; the auto default defers to PAP_PIPELINE inside
+    // resolvePipelineMode.
+    PipelineMode pipeline = PipelineMode::Auto;
+    if (flagValue(args, "--pipeline", &v)) {
+        const Result<PipelineMode> parsed = parsePipelineMode(v);
+        if (!parsed.ok())
+            return fail(parsed.status().toString());
+        pipeline = parsed.value();
+    }
+
     // Host thread count: the flag wins over the PAP_THREADS
     // environment variable; 0 means one thread per hardware thread.
     std::uint32_t threads = 1;
@@ -445,6 +461,8 @@ cmdRun(const std::vector<std::string> &args)
         PapOptions opt;
         opt.engine = engine;
         const SequentialResult r = runSequential(nfa, trace, opt);
+        if (!r.status.ok())
+            return fail(r.status.toString());
         std::printf("sequential[%s]: %zu matches, %llu cycles "
                     "(%.3f ms on AP)\n",
                     r.engineBackend.c_str(), r.reports.size(),
@@ -455,11 +473,14 @@ cmdRun(const std::vector<std::string> &args)
         SpeculationOptions opt;
         opt.engine = engine;
         opt.threads = threads;
+        opt.pipeline = pipeline;
         if (!v.empty() && !parseU32(v, &opt.warmupWindow))
             return fail("--spec window needs an integer, got '" + v +
                         "'");
         const SpeculationResult r =
             runSpeculative(nfa, trace, ApConfig::d480(ranks), opt);
+        if (!r.status.ok())
+            return fail(r.status.toString());
         std::printf("speculative[%s]: %zu matches, %u segments, "
                     "accuracy %.2f, speedup %.2fx%s\n",
                     r.engineBackend.c_str(), r.reports.size(),
@@ -471,6 +492,7 @@ cmdRun(const std::vector<std::string> &args)
         PapOptions opt;
         opt.engine = engine;
         opt.threads = threads;
+        opt.pipeline = pipeline;
         if (flagValue(args, "--quantum", &v) &&
             (!parseU32(v, &opt.tdmQuantum) || opt.tdmQuantum == 0))
             return fail("--quantum needs a positive integer, got '" +
@@ -569,6 +591,18 @@ cmdRun(const std::vector<std::string> &args)
                         "retried, %u recovered\n",
                         r.threadsUsed, r.segmentsRetried,
                         r.segmentsRecovered);
+        if (r.pipelineMode == "overlap") {
+            // Wall-clock numbers are nondeterministic, so they only
+            // appear under --verbose; the bare mode line stays
+            // byte-stable for output-comparison tests.
+            if (verbose)
+                std::printf("  pipeline: overlap, occupancy %.2f, "
+                            "composer stalled %.1f of %.1f ms\n",
+                            r.pipelineOccupancy, r.composerStallMs,
+                            r.pipelineWallMs);
+            else
+                std::printf("  pipeline: overlap\n");
+        }
         if (injector)
             std::printf("  %s\n", injector->summary().c_str());
         reports = r.reports;
