@@ -19,12 +19,20 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 
 namespace pap {
 namespace bench {
+
+/**
+ * Version of the shared BENCH JSON "meta" block. Bump when a field is
+ * added/renamed so scripts/bench_compare.py can refuse to diff files
+ * it does not understand.
+ */
+constexpr int kBenchSchemaVersion = 1;
 
 /** Length of the "1 MB-class" input stream. */
 inline std::uint64_t
@@ -59,6 +67,63 @@ hostThreads()
     if (const char *env = std::getenv("PAP_THREADS"))
         return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
     return 0;
+}
+
+/**
+ * The value std::thread::hardware_concurrency() actually returned.
+ * The standard allows 0 ("not computable"); keep the raw value so a
+ * reader can tell a genuine single-core host from an unknown one.
+ */
+inline unsigned
+hardwareConcurrencyRaw()
+{
+    return std::thread::hardware_concurrency();
+}
+
+/**
+ * Hardware threads of the host, for bench metadata. Falls back to 1
+ * when the runtime reports 0 (unknown) — the most conservative
+ * assumption, and flagged by hardware_concurrency_raw == 0 alongside.
+ */
+inline unsigned
+hardwareThreads()
+{
+    const unsigned raw = hardwareConcurrencyRaw();
+    return raw ? raw : 1;
+}
+
+/** Trace-size configuration this process runs under. */
+inline const char *
+traceConfig()
+{
+    if (std::getenv("PAP_FULL_TRACES"))
+        return "full";
+    if (std::getenv("PAP_QUICK"))
+        return "quick";
+    return "default";
+}
+
+/**
+ * Stamp the shared metadata block into a BENCH JSON. Call right after
+ * the opening '{'; emits `"bench"` and a `"meta"` object (trailing
+ * comma included) so every harness records the same provenance:
+ * schema version, trace sizing, the host's real hardware threads (and
+ * the raw runtime value, 0 = unknown), and the PAP_THREADS request the
+ * run actually used (0 = one per hardware thread).
+ */
+inline void
+writeMetaHeader(std::FILE *f, const char *bench_name)
+{
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name);
+    std::fprintf(f, "  \"meta\": {\n");
+    std::fprintf(f, "    \"schema_version\": %d,\n", kBenchSchemaVersion);
+    std::fprintf(f, "    \"trace_config\": \"%s\",\n", traceConfig());
+    std::fprintf(f, "    \"host_hardware_threads\": %u,\n",
+                 hardwareThreads());
+    std::fprintf(f, "    \"hardware_concurrency_raw\": %u,\n",
+                 hardwareConcurrencyRaw());
+    std::fprintf(f, "    \"pap_threads\": %u\n", hostThreads());
+    std::fprintf(f, "  },\n");
 }
 
 /** Human label for the configured sizes. */

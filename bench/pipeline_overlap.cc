@@ -99,9 +99,13 @@ main(int argc, char **argv)
 
     const char *out_path =
         argc > 1 ? argv[1] : "BENCH_pipeline.json";
-    const int reps = std::getenv("PAP_QUICK") ? 2 : 3;
+    // Quick mode needs *more* repetitions than the full config, not
+    // fewer: its per-run walls are short enough that one scheduler
+    // preemption swings the min-of-N, and bench_compare.py diffs the
+    // resulting speedups run-to-run.
+    const int reps = std::getenv("PAP_QUICK") ? 4 : 3;
     const std::uint64_t base_len = bench::smallTraceLen();
-    const unsigned host_threads = std::thread::hardware_concurrency();
+    const unsigned host_threads = bench::hardwareThreads();
 
     PapOptions opt;
     opt.threads = bench::hostThreads();
@@ -173,11 +177,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", out_path);
         return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"pipeline_overlap\",\n");
+    std::fprintf(f, "{\n");
+    bench::writeMetaHeader(f, "pipeline_overlap");
     std::fprintf(f, "  \"base_trace_symbols\": %llu,\n",
                  static_cast<unsigned long long>(base_len));
     std::fprintf(f, "  \"repetitions\": %d,\n", reps);
-    std::fprintf(f, "  \"host_hardware_threads\": %u,\n", host_threads);
     std::fprintf(f, "  \"emulate_device_ns_per_symbol\": %.1f,\n",
                  kEmuNsPerSymbol);
     std::fprintf(f, "  \"reports_identical\": %s,\n",

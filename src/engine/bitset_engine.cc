@@ -52,10 +52,12 @@ BitsetEngine::step(Symbol s)
     const std::uint64_t *rep = dnfa.reportMask();
     const CompiledNfa &cnfa = dnfa.compiled();
     std::fill(next.begin(), next.end(), 0);
+    std::uint64_t rows = 0;
     for (std::size_t w = 0; w < words; ++w) {
         std::uint64_t matched = active[w] & m[w];
         if (!matched)
             continue;
+        rows += static_cast<std::uint64_t>(std::popcount(matched));
         stats.matches +=
             static_cast<std::uint64_t>(std::popcount(matched));
         std::uint64_t matchedReporting = matched & rep[w];
@@ -95,6 +97,16 @@ BitsetEngine::step(Symbol s)
     for (const std::uint64_t w : active)
         activeBits += static_cast<std::size_t>(std::popcount(w));
     stats.enables += activeBits;
+    // Datapath cost: the active&mask AND plus the next-vector clear
+    // touch the whole vector every step regardless of density, and
+    // every matched state pulls in its full `words`-wide successor
+    // row — the traffic that outgrows the cache on large automata.
+    stats.succRows += rows;
+    stats.maskWords += words;
+    stats.bytesTouched +=
+        8ull * words *
+        (2 + rows + (startsEnabled ? 2u : 0u));
+    ++stats.densityOctiles[densityOctile(activeBits, dnfa.size())];
     ++stats.symbols;
     ++offsetCursor;
 }

@@ -26,6 +26,7 @@
 #ifndef PAP_ENGINE_ENGINE_BACKEND_H
 #define PAP_ENGINE_ENGINE_BACKEND_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -41,7 +42,22 @@ class CompiledNfa;
 class DenseNfa;
 class EngineScratch;
 
-/** Counters an engine accumulates while running. */
+/**
+ * Counters an engine accumulates while running. Recording is O(1)
+ * per step (a handful of adds folded into work the step does anyway),
+ * so they stay on in every build.
+ *
+ * symbols/matches/enables are *result* counters and covered by the
+ * equivalence contract above: identical across backends for identical
+ * inputs. The introspection fields below measure the *cost* of the
+ * datapath — how much automaton and state-vector memory a backend
+ * touches to produce that result — and are explicitly backend-specific
+ * (the dense backend reads whole successor rows where the sparse one
+ * walks edge lists), so differential tests must not compare them.
+ * densityOctiles is the exception: it is derived from the per-step
+ * active-set cardinality, which the contract fixes, so it too is
+ * backend-invariant.
+ */
 struct EngineCounters
 {
     /** Symbols consumed. */
@@ -50,7 +66,32 @@ struct EngineCounters
     std::uint64_t matches = 0;
     /** States enabled (with duplicates removed per cycle). */
     std::uint64_t enables = 0;
+
+    // --- Datapath introspection (backend-specific cost estimates) ---
+    /** Successor structures walked for matched states: whole rows
+     *  OR'd on the dense backend, edge lists on the sparse one. */
+    std::uint64_t succRows = 0;
+    /** Match-mask work per step: state-vector words ANDed (dense) or
+     *  label bitmaps tested (sparse). */
+    std::uint64_t maskWords = 0;
+    /** Estimated automaton + state-vector bytes read. This is the
+     *  measured form of the large-NFA cache cliff: when bytes per
+     *  symbol outgrow the cache, the dense backend collapses. */
+    std::uint64_t bytesTouched = 0;
+    /** Histogram of per-step active density: octile k counts steps
+     *  with active/states in [k/8, (k+1)/8). Backend-invariant. */
+    std::array<std::uint64_t, 8> densityOctiles{};
 };
+
+/** Octile index (0..7) for @p active_states of @p total states. */
+inline std::size_t
+densityOctile(std::size_t active_states, std::size_t total)
+{
+    if (total == 0)
+        return 0;
+    const std::size_t k = active_states * 8 / total;
+    return k < 7 ? k : 7;
+}
 
 /** One execution context (flow) over a compiled automaton. */
 class EngineBackend

@@ -59,14 +59,18 @@ FunctionalEngine::step(Symbol s)
     scratch->bump();
     next.clear();
     sortedValid = false;
+    std::uint64_t edges = 0;
+    const std::size_t scanned = active.size();
     for (const StateId q : active) {
         if (!cnfa.label(q).test(s))
             continue;
         ++stats.matches;
+        ++stats.succRows;
         if (cnfa.reporting(q))
             events.push_back(
                 ReportEvent{offsetCursor, q, cnfa.reportCode(q)});
         const auto [begin, end] = cnfa.successors(q);
+        edges += static_cast<std::uint64_t>(end - begin);
         for (const StateId *t = begin; t != end; ++t) {
             if (startsEnabled && cnfa.isAllInputStart(*t))
                 continue;
@@ -83,8 +87,15 @@ FunctionalEngine::step(Symbol s)
             if (scratch->claim(t))
                 next.push_back(t);
     }
+    // Datapath cost: one 256-bit label bitmap probed per scanned
+    // active state plus the successor ids actually walked — traffic
+    // proportional to activity, not to automaton size, which is why
+    // this backend survives large sparse automata.
+    stats.maskWords += scanned;
+    stats.bytesTouched += 32ull * scanned + 4ull * (edges + scanned);
     active.swap(next);
     stats.enables += active.size();
+    ++stats.densityOctiles[densityOctile(active.size(), cnfa.size())];
     ++stats.symbols;
     ++offsetCursor;
 }

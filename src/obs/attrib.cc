@@ -1,0 +1,136 @@
+#include "obs/attrib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pap {
+namespace obs {
+
+double
+AttribSnapshot::wallChargedMs() const
+{
+    double sum = 0.0;
+    for (const AttribBucket &b : buckets)
+        if (!b.aux)
+            sum += b.ms;
+    return sum;
+}
+
+AttribBucket
+AttribSnapshot::bucket(const std::string &name) const
+{
+    for (const AttribBucket &b : buckets)
+        if (b.name == name)
+            return b;
+    AttribBucket zero;
+    zero.name = name;
+    return zero;
+}
+
+namespace {
+
+void
+appendMs(std::string &out, double ms)
+{
+    if (!std::isfinite(ms))
+        ms = 0.0;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", ms);
+    out += buf;
+}
+
+void
+appendGroup(std::string &out, const AttribSnapshot &snapshot, bool aux)
+{
+    bool first = true;
+    for (const AttribBucket &b : snapshot.buckets) {
+        if (b.aux != aux)
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "\"";
+        out += b.name; // bucket names are fixed identifiers, no escapes
+        out += "\": ";
+        appendMs(out, b.ms);
+    }
+}
+
+} // namespace
+
+std::string
+attribToJson(const AttribSnapshot &snapshot)
+{
+    std::string out = "{\"wall_ms\": ";
+    appendMs(out, snapshot.wallMs);
+    out += ", \"buckets\": {";
+    appendGroup(out, snapshot, /*aux=*/false);
+    out += "}, \"aux\": {";
+    appendGroup(out, snapshot, /*aux=*/true);
+    out += "}}";
+    return out;
+}
+
+void
+AttribLedger::chargeWall(const std::string &name, double ms)
+{
+    if (!std::isfinite(ms) || ms < 0.0)
+        ms = 0.0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    wall_[name] += ms;
+}
+
+void
+AttribLedger::chargeAux(const std::string &name, double ms)
+{
+    if (!std::isfinite(ms) || ms < 0.0)
+        ms = 0.0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    aux_[name] += ms;
+}
+
+void
+AttribLedger::finalize(double measured_wall_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    measuredWallMs_ = measured_wall_ms;
+    double charged = 0.0;
+    for (const auto &[name, ms] : wall_)
+        charged += ms;
+    wall_["other"] += std::max(0.0, measured_wall_ms - charged);
+}
+
+double
+AttribLedger::measuredWallMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return measuredWallMs_;
+}
+
+double
+AttribLedger::wallChargedMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double sum = 0.0;
+    for (const auto &[name, ms] : wall_)
+        sum += ms;
+    return sum;
+}
+
+AttribSnapshot
+AttribLedger::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    AttribSnapshot out;
+    out.wallMs = measuredWallMs_;
+    out.buckets.reserve(wall_.size() + aux_.size());
+    for (const auto &[name, ms] : wall_)
+        out.buckets.push_back(AttribBucket{name, ms, false});
+    for (const auto &[name, ms] : aux_)
+        out.buckets.push_back(AttribBucket{name, ms, true});
+    return out;
+}
+
+} // namespace obs
+} // namespace pap

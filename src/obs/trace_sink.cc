@@ -141,6 +141,31 @@ TraceSink::counterEvent(const char *name, double value)
 }
 
 void
+TraceSink::flow(char ph, const char *name, std::uint64_t id,
+                const char *cat)
+{
+    PAP_ASSERT(ph == 's' || ph == 't' || ph == 'f',
+               "flow phase must be s/t/f");
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = ph;
+    e.id = id;
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = callerTid();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+std::uint64_t
+TraceSink::newFlowId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
 TraceSink::complete(const char *name, const char *cat, double ts_us,
                     double dur_us, std::int64_t pid, std::int64_t tid,
                     TraceArgs args)
@@ -315,6 +340,13 @@ TraceSink::toJson() const
             os << ",\"cat\":\"" << jsonEscape(e.cat) << "\"";
         if (e.ph == 'i')
             os << ",\"s\":\"t\"";
+        if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+            os << ",\"id\":" << e.id;
+            // Bind the flow end to the enclosing slice, the binding
+            // chrome://tracing needs to draw the arrow's head.
+            if (e.ph == 'f')
+                os << ",\"bp\":\"e\"";
+        }
         if (!e.args.empty()) {
             os << ",\"args\":{";
             bool afirst = true;

@@ -32,8 +32,10 @@ struct TraceEvent
     std::string name;
     std::string cat;
     /** 'B' begin, 'E' end, 'X' complete, 'i' instant, 'C' counter,
-     *  'M' metadata. */
+     *  'M' metadata, 's'/'t'/'f' flow start/step/end. */
     char ph = 'i';
+    /** Flow id binding 's'/'t'/'f' events into one causal arrow. */
+    std::uint64_t id = 0;
     /** Microseconds (wall-clock for host spans, scaled cycles for the
      *  simulated timeline). */
     double ts = 0.0;
@@ -74,6 +76,18 @@ class TraceSink
 
     /** A counter-track sample. */
     void counterEvent(const char *name, double value);
+
+    /**
+     * An async flow event: @p ph is 's' (start), 't' (step), or 'f'
+     * (end); events sharing @p id draw one causal arrow across
+     * threads in Perfetto. Flow events bind to the enclosing slice on
+     * the calling thread's track, so emit them inside an open span.
+     */
+    void flow(char ph, const char *name, std::uint64_t id,
+              const char *cat = "pap.flow");
+
+    /** A process-unique nonzero flow id (0 means "no flow"). */
+    static std::uint64_t newFlowId();
 
     /**
      * A complete ('X') event with explicit coordinates; used for

@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/attrib.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 
@@ -47,7 +48,7 @@ parkStalled(const CancellationToken &token, bool watchdog_armed,
 SegmentPipeline::SegmentPipeline(const Options &options,
                                  std::size_t count, TaskFn fn)
     : opts_(options), fn_(std::move(fn)), reports_(count),
-      done_(count, 0), live_(count)
+      done_(count, 0), live_(count), flowIds_(count, 0)
 {
     const std::uint32_t threads =
         std::max<std::uint32_t>(1, opts_.exec.threads);
@@ -84,14 +85,24 @@ SegmentPipeline::await(std::size_t index)
     PAP_ASSERT(index < reports_.size(),
                "await past the end of the pipeline");
     std::unique_lock<std::mutex> lock(mutex_);
+    double waited_ms = 0.0;
     if (!done_[index]) {
         ++stalls_;
         const auto t0 = std::chrono::steady_clock::now();
         doneCv_.wait(lock, [&] { return done_[index] != 0; });
-        stallMs_ +=
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+        waited_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        stallMs_ += waited_ms;
+    }
+    if (obs::TraceSink *sink = obs::tracer()) {
+        // Consume marker on the composer's track, closing the
+        // segment's admission -> execution -> consume causal flow.
+        sink->begin("pipeline.consume", "pipeline");
+        if (flowIds_[index])
+            sink->flow('f', "segment", flowIds_[index]);
+        sink->end({{"index", static_cast<double>(index)},
+                   {"stall_ms", waited_ms}});
     }
     if (index + 1 > frontier_) {
         frontier_ = index + 1;
@@ -145,13 +156,33 @@ SegmentPipeline::cancelledNow()
     return cancelled_;
 }
 
+std::uint64_t
+SegmentPipeline::flowId(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flowIds_[index];
+}
+
 /** Admit tasks up to the handoff window past the frontier. */
 void
 SegmentPipeline::maybeSubmitLocked()
 {
+    obs::TraceSink *sink = obs::tracer();
     while (nextSubmit_ < reports_.size() && !cancelled_ &&
            nextSubmit_ < frontier_ + window_) {
         const std::size_t i = nextSubmit_++;
+        if (sink) {
+            // Admission marker: opens the segment's causal flow on
+            // the admitting (composer) thread. The id travels to the
+            // worker ('t') and back to the consume marker ('f').
+            flowIds_[i] = obs::TraceSink::newFlowId();
+            sink->begin("pipeline.admit", "pipeline");
+            sink->flow('s', "segment", flowIds_[i]);
+            sink->end({{"index", static_cast<double>(i)}});
+            sink->counterEvent(
+                "pipeline.inflight",
+                static_cast<double>(nextSubmit_ - doneCount_));
+        }
         const bool accepted =
             pool_->submit([this, i] { runTask(i); });
         PAP_ASSERT(accepted, "pipeline pool rejected a submission");
@@ -161,10 +192,26 @@ SegmentPipeline::maybeSubmitLocked()
 void
 SegmentPipeline::runTask(std::size_t index)
 {
+    obs::TraceSink *const sink = obs::tracer();
+    if (sink) {
+        sink->begin("pipeline.task", "pipeline");
+        if (const std::uint64_t id = flowId(index))
+            sink->flow('t', "segment", id);
+    }
     runAttempts(index, reports_[index]);
+    std::size_t inflight = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         done_[index] = 1;
+        ++doneCount_;
+        inflight = nextSubmit_ - doneCount_;
+    }
+    if (sink) {
+        sink->end({{"index", static_cast<double>(index)},
+                   {"attempts",
+                    static_cast<double>(reports_[index].attempts)}});
+        sink->counterEvent("pipeline.inflight",
+                           static_cast<double>(inflight));
     }
     doneCv_.notify_all();
 }
@@ -258,6 +305,8 @@ SegmentPipeline::runAttempts(std::size_t index, TaskReport &report)
         if (attempt + 1 < max_attempts && !cancelledNow()) {
             report.retried = true;
             obs::metrics().add("exec.retry.attempts");
+            obs::AttribLedger::Scope backoff(
+                opts_.attrib, "workers.retry_backoff", /*aux=*/true);
             std::this_thread::sleep_for(backoffDelay(options, attempt));
         }
     }

@@ -48,6 +48,10 @@
 #include "pap/exec/worker_pool.h"
 
 namespace pap {
+namespace obs {
+class AttribLedger;
+} // namespace obs
+
 namespace exec {
 
 class SegmentPipeline
@@ -59,6 +63,12 @@ class SegmentPipeline
         HardenedExecOptions exec;
         /** False: run everything in the constructor (barrier mode). */
         bool overlap = false;
+        /**
+         * Optional attribution ledger (not owned). Worker-side time
+         * that overlaps the caller's wall clock is charged to aux
+         * buckets here: retry backoff sleeps ("workers.retry_backoff").
+         */
+        obs::AttribLedger *attrib = nullptr;
         /**
          * Bounded handoff window: how many tasks may be admitted
          * ahead of the composition frontier in overlap mode
@@ -111,6 +121,8 @@ class SegmentPipeline
     void runAttempts(std::size_t index, TaskReport &report);
     bool cancelledNow();
     void maybeSubmitLocked();
+    /** The task's trace flow id (0 when tracing was off at admission). */
+    std::uint64_t flowId(std::size_t index) const;
 
     Options opts_;
     TaskFn fn_;
@@ -127,9 +139,13 @@ class SegmentPipeline
     std::size_t nextSubmit_ = 0;
     /** One past the highest index the composer has consumed. */
     std::size_t frontier_ = 0;
+    /** Tasks whose runTask has finished (inflight = submitted - done). */
+    std::size_t doneCount_ = 0;
     bool cancelled_ = false;
     std::uint64_t stalls_ = 0;
     double stallMs_ = 0.0;
+    /** Per-task trace flow ids (admission -> execution -> consume). */
+    std::vector<std::uint64_t> flowIds_;
 };
 
 } // namespace exec

@@ -73,6 +73,15 @@ describeRun(PapResult &result, const Nfa &nfa,
  * the process registry (the same numbers PapResult carries, so tests
  * and dumped JSON can cross-check them).
  */
+/** Milliseconds elapsed since @p t0. */
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 void
 recordRunMetrics(const PapResult &result)
 {
@@ -109,6 +118,23 @@ recordRunMetrics(const PapResult &result)
     m.setGauge("runner.switch_overhead_pct", result.switchOverheadPct);
     m.setGauge("runner.transition_ratio", result.transitionRatio);
     m.observe("runner.run.speedup", result.speedup);
+    // Attribution ledger: one gauge per bucket so --metrics-json
+    // carries the same decomposition --attrib prints.
+    if (result.attrib.wallMs > 0.0) {
+        m.setGauge("attrib.wall_ms", result.attrib.wallMs);
+        for (const auto &b : result.attrib.buckets)
+            m.setGauge("attrib." + b.name + "_ms", b.ms);
+    }
+    // Engine introspection totals (datapath cost across all flows).
+    m.add("engine.counters.succ_rows", result.engineSuccRows);
+    m.add("engine.counters.mask_words", result.engineMaskWords);
+    m.add("engine.counters.bytes_touched", result.engineBytesTouched);
+    if (result.engineBytesPerSymbol > 0.0)
+        m.setGauge("engine.counters.bytes_per_symbol",
+                   result.engineBytesPerSymbol);
+    for (std::size_t k = 0; k < result.engineDensityOctiles.size(); ++k)
+        m.add("engine.counters.density_octile_" + std::to_string(k),
+              result.engineDensityOctiles[k]);
     for (const auto &diag : result.segments) {
         m.add("runner.flows.planned", diag.flows);
         m.add("runner.flows.deactivated", diag.deactivated);
@@ -217,9 +243,20 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     obs::TraceSink *sink = obs::tracer();
     PapResult result;
 
+    // Attribution ledger: every exit path finalizes it against the
+    // run's measured wall time, so the wall buckets (plus the "other"
+    // residual) sum to attrib.wallMs on success and failure alike.
+    const auto run_t0 = std::chrono::steady_clock::now();
+    obs::AttribLedger ledger;
+    const auto finish_attrib = [&] {
+        ledger.finalize(msSince(run_t0));
+        result.attrib = ledger.snapshot();
+    };
+
     // --- Static analysis & placement -------------------------------
     if (sink)
         sink->begin("pap.analyze");
+    const auto analyze_t0 = std::chrono::steady_clock::now();
     const RunContext ctx(nfa, options.engine);
     if (!ctx.status().ok()) {
         // Typed selection error (an invalid PAP_ENGINE value): the
@@ -228,6 +265,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         if (sink)
             sink->end();
         result.status = ctx.status();
+        ledger.chargeWall("analyze", msSince(analyze_t0));
+        finish_attrib();
         recordRunMetrics(result);
         return result;
     }
@@ -237,6 +276,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         if (sink)
             sink->end();
         result.status = mode_resolved.status();
+        ledger.chargeWall("analyze", msSince(analyze_t0));
+        finish_attrib();
         recordRunMetrics(result);
         return result;
     }
@@ -258,6 +299,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         1, std::min<std::uint64_t>(num_segments,
                                    input.size() / min_seg)));
     describeRun(result, nfa, num_segments, placement);
+    ledger.chargeWall("analyze", msSince(analyze_t0));
     if (sink)
         sink->end();
 
@@ -266,11 +308,13 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // dense run is cross-checked against an independent execution.
     if (sink)
         sink->begin("pap.baseline");
+    const auto baseline_t0 = std::chrono::steady_clock::now();
     PapOptions oracle_opt = options;
     oracle_opt.engine = EngineKind::Sparse;
     const SequentialResult seq = runSequential(nfa, input, oracle_opt);
     result.baselineCycles = seq.cycles;
     result.seqReportEvents = seq.reports.size();
+    ledger.chargeWall("baseline", msSince(baseline_t0));
     if (sink)
         sink->end();
 
@@ -281,6 +325,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         result.papReportEvents = seq.reports.size();
         result.verified = true;
         obs::metrics().add("runner.sequential_fallbacks");
+        finish_attrib();
         recordRunMetrics(result);
         return result;
     }
@@ -288,6 +333,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // --- Partitioning ----------------------------------------------
     if (sink)
         sink->begin("pap.partition");
+    const auto partition_t0 = std::chrono::steady_clock::now();
     // The dense backend reads the per-symbol ranges straight off its
     // match-mask popcounts; the sparse path runs the RangeAnalysis
     // pass here (the numbers are identical by construction).
@@ -304,6 +350,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         partitionInput(input, profile.symbol, num_segments);
     result.numSegments = static_cast<std::uint32_t>(segs.size());
     result.idealSpeedup = result.numSegments;
+    ledger.chargeWall("partition", msSince(partition_t0));
     if (sink)
         sink->end({{"segments", static_cast<double>(segs.size())},
                    {"boundary_symbol",
@@ -317,6 +364,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // before cycles are spent.
     if (sink)
         sink->begin("pap.plan");
+    const auto plan_t0 = std::chrono::steady_clock::now();
     std::vector<FlowPlan> plans(segs.size());
     double sum_in_range = 0, sum_after_cc = 0, sum_after_parent = 0;
     for (std::size_t j = 1; j < segs.size(); ++j) {
@@ -333,6 +381,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     result.flowsInRange = sum_in_range / enum_segments;
     result.flowsAfterCc = sum_after_cc / enum_segments;
     result.flowsAfterParent = sum_after_parent / enum_segments;
+    ledger.chargeWall("plan", msSince(plan_t0));
     if (sink)
         sink->end({{"segments", static_cast<double>(segs.size())},
                    {"max_flows_per_segment",
@@ -357,6 +406,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         result.papReportEvents = seq.reports.size();
         result.verified = true;
         result.degraded = true;
+        finish_attrib();
         recordRunMetrics(result);
         return result;
     };
@@ -369,6 +419,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         if (options.overflowPolicy == OverflowPolicy::Fail) {
             result.status = Status::error(ErrorCode::CapacityExceeded,
                                           "'", nfa.name(), "' ", why);
+            finish_attrib();
             recordRunMetrics(result);
             return result;
         }
@@ -386,6 +437,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         if (options.overflowPolicy == OverflowPolicy::Fail) {
             result.status = Status::error(ErrorCode::CapacityExceeded,
                                           "'", nfa.name(), "' ", why);
+            finish_attrib();
             recordRunMetrics(result);
             return result;
         }
@@ -403,6 +455,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     exec::CheckpointFrontier frontier;
     frontier.identity = identity;
     if (checkpointing) {
+        obs::AttribLedger::Scope cpio(&ledger, "checkpoint.io");
         auto loaded = exec::loadCheckpoint(options.checkpointPath);
         if (loaded.ok()) {
             if (loaded.value().identity == identity &&
@@ -453,11 +506,16 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     pipe_opt.exec = exec_opt;
     pipe_opt.overlap = overlap;
     pipe_opt.window = options.pipelineWindow;
+    pipe_opt.attrib = &ledger;
     const auto region_t0 = std::chrono::steady_clock::now();
     exec::SegmentPipeline pipe(
         pipe_opt, segs.size() - first_segment,
         [&](std::size_t idx,
             const exec::CancellationToken &cancel) -> Status {
+            // Worker-side time overlaps the composer's wall clock in
+            // overlap mode, so it is charged to an aux bucket.
+            obs::AttribLedger::Scope worker(&ledger, "workers.execute",
+                                            /*aux=*/true);
             const std::size_t j = first_segment + idx;
             const Segment &s = segs[j];
             const auto task_t0 = std::chrono::steady_clock::now();
@@ -489,6 +547,8 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                 for (std::size_t first = 0;
                      first < plan.flows.size() && !cancel.cancelled();
                      first += batch_cap, ++b) {
+                    const auto batch_t0 =
+                        std::chrono::steady_clock::now();
                     const std::size_t last = std::min(
                         plan.flows.size(),
                         first + static_cast<std::size_t>(batch_cap));
@@ -505,6 +565,11 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                         rec.batch = b;
                         run.flows.push_back(std::move(rec));
                     }
+                    // Re-upload batches past the first are pure SVC
+                    // overflow overhead: account them separately.
+                    if (b > 0)
+                        ledger.chargeAux("workers.svc_batch",
+                                         msSince(batch_t0));
                 }
                 batches = std::max(1u, b);
             }
@@ -533,6 +598,10 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             seg_batches[j] = batches;
             return Status();
         });
+    // Composer-side cost of the pipeline constructor: in barrier mode
+    // this is the whole device execution (the constructor drains); in
+    // overlap mode it is just the first window's admission.
+    ledger.chargeWall("device.execute", msSince(region_t0));
     obs::metrics().add(overlap ? "pipeline.runs.overlap"
                                : "pipeline.runs.barrier");
     if (sink)
@@ -551,6 +620,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     const std::vector<StateId> no_truth;
     std::uint64_t flow_transitions = frontier.flowTransitions;
     result.flowSymbolCycles = frontier.flowSymbolCycles;
+    const std::uint64_t base_flow_symbols = frontier.flowSymbolCycles;
     result.segmentsRetried = frontier.segmentsRetried;
     result.segmentsRecovered = frontier.segmentsRecovered;
     const std::uint64_t base_entries = frontier.papEntries;
@@ -588,7 +658,9 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         // already drained) and fold its ordered reduction. Doing the
         // reduction here, in segment order, keeps every cross-task
         // aggregate identical between the two scheduling modes.
+        const auto await_t0 = std::chrono::steady_clock::now();
         const exec::TaskReport &tr = pipe.await(j - first_segment);
+        ledger.chargeWall("pipeline.stall", msSince(await_t0));
         const auto compose_t0 = std::chrono::steady_clock::now();
         seg_retried[j] = tr.retried ? 1 : 0;
         if (!tr.status.ok()) {
@@ -650,9 +722,34 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         prev_final = truths[j].finalActive;
         if (seg_retried[j])
             ++result.segmentsRetried;
+        std::array<std::uint64_t, 8> seg_octiles{};
         for (const auto &rec : runs[j].flows) {
             flow_transitions += rec.counters.matches;
             result.flowSymbolCycles += rec.counters.symbols;
+            result.engineSuccRows += rec.counters.succRows;
+            result.engineMaskWords += rec.counters.maskWords;
+            result.engineBytesTouched += rec.counters.bytesTouched;
+            for (std::size_t k = 0; k < seg_octiles.size(); ++k) {
+                seg_octiles[k] += rec.counters.densityOctiles[k];
+                result.engineDensityOctiles[k] +=
+                    rec.counters.densityOctiles[k];
+            }
+        }
+        ledger.chargeWall(seg_failed[j] ? "compose.recover"
+                                        : "compose.decode",
+                          msSince(compose_t0));
+        if (sink) {
+            // Mean active-state density octile over this segment's
+            // flow steps, as a counter track next to the flow arrows.
+            std::uint64_t steps = 0, weighted = 0;
+            for (std::size_t k = 0; k < seg_octiles.size(); ++k) {
+                steps += seg_octiles[k];
+                weighted += k * seg_octiles[k];
+            }
+            sink->counterEvent("engine.active_density",
+                               steps ? static_cast<double>(weighted) /
+                                           static_cast<double>(steps)
+                                     : 0.0);
         }
 
         if (options.emulateDeviceNsPerSymbol > 0.0 && j > 0 &&
@@ -675,11 +772,15 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                     options.emulateDeviceNsPerSymbol));
             const auto spent =
                 std::chrono::steady_clock::now() - compose_t0;
-            if (tcpu > spent)
+            if (tcpu > spent) {
+                obs::AttribLedger::Scope emu(&ledger,
+                                             "compose.emulation");
                 std::this_thread::sleep_for(tcpu - spent);
+            }
         }
 
         if (checkpointing) {
+            obs::AttribLedger::Scope cpio(&ledger, "checkpoint.io");
             frontier.nextSegment = static_cast<std::uint32_t>(j + 1);
             frontier.finalActive = prev_final;
             frontier.reports.insert(frontier.reports.end(),
@@ -727,6 +828,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                 ErrorCode::Cancelled, "run stopped after segment ", j,
                 " (stop-after-segment)",
                 checkpointing ? "; checkpoint saved" : "");
+            finish_attrib();
             recordRunMetrics(result);
             return result;
         }
@@ -783,6 +885,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     bool diverged = false;
     if (options.verifyAgainstSequential) {
         PAP_TRACE_SCOPE("pap.verify");
+        obs::AttribLedger::Scope verify_scope(&ledger, "verify");
         if (result.reports == seq.reports) {
             result.verified = true;
         } else {
@@ -814,6 +917,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     // --- Timeline -----------------------------------------------------
     if (sink)
         sink->begin("pap.timeline");
+    const auto timeline_t0 = std::chrono::steady_clock::now();
     // Resumed segments replay their checkpointed timing records, so a
     // killed-and-resumed run reproduces the same per-figure numbers.
     std::vector<SegmentTimingInput> timing_in(segs.size());
@@ -892,15 +996,30 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         obs::metrics().observe(
             "runner.segment.tcpu_cycles",
             static_cast<double>(timeline.tcpuCycles[j]));
+    ledger.chargeWall("timeline", msSince(timeline_t0));
     if (sink)
         sink->end({{"pap_cycles",
                     static_cast<double>(result.papCycles)},
                    {"speedup", result.speedup}});
 
     // The run completed; its checkpoint would only confuse a rerun.
-    if (checkpointing)
+    if (checkpointing) {
+        obs::AttribLedger::Scope cpio(&ledger, "checkpoint.io");
         exec::removeCheckpoint(options.checkpointPath);
+    }
 
+    // Datapath intensity: estimated bytes the engines touched per
+    // flow-symbol executed this run (resumed segments excluded from
+    // both numerator and denominator).
+    const std::uint64_t engine_symbols =
+        result.flowSymbolCycles - base_flow_symbols;
+    result.engineBytesPerSymbol =
+        engine_symbols
+            ? static_cast<double>(result.engineBytesTouched) /
+                  static_cast<double>(engine_symbols)
+            : 0.0;
+
+    finish_attrib();
     recordRunMetrics(result);
     traceSimulatedTimeline(result);
     return result;

@@ -10,6 +10,7 @@
 #ifndef PAP_PAP_RUNNER_H
 #define PAP_PAP_RUNNER_H
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "engine/report.h"
 #include "engine/trace.h"
 #include "nfa/nfa.h"
+#include "obs/attrib.h"
 #include "pap/options.h"
 
 namespace pap {
@@ -151,6 +153,22 @@ struct PapResult
     double composerStallMs = 0.0;
     /** 1 - stall/wall over the region (1.0 = composer never waited). */
     double pipelineOccupancy = 1.0;
+
+    // Performance attribution (obs/attrib.h): the run's wall time
+    // decomposed into named buckets. Wall buckets (including the
+    // "other" residual) sum to attrib.wallMs by construction; aux
+    // buckets are worker-side time that overlaps the wall clock.
+    obs::AttribSnapshot attrib;
+
+    // Engine introspection totals, summed over every flow the run
+    // executed (EngineCounters; backend-specific datapath cost).
+    std::uint64_t engineSuccRows = 0;
+    std::uint64_t engineMaskWords = 0;
+    std::uint64_t engineBytesTouched = 0;
+    /** bytesTouched / flowSymbolCycles (0 when no flows ran). */
+    double engineBytesPerSymbol = 0.0;
+    /** Per-step active-density histogram summed over flows. */
+    std::array<std::uint64_t, 8> engineDensityOctiles{};
 
     /** Per-segment diagnostics (input order). */
     struct SegmentDiag

@@ -56,6 +56,58 @@ for e in events:
     assert e["ts"] >= 0 and "pid" in e and "tid" in e
 PY
 
+# --attrib prints the wall-time ledger as a table whose wall buckets
+# sum to the measured wall, and --attrib=json emits machine-readable
+# buckets; overlap mode must satisfy the same invariant.
+for mode in barrier overlap; do
+    ATTRIB="$("$PAPSIM" run m.nfa t.bin --ranks=2 --threads=2 \
+        --pipeline=$mode --attrib)"
+    echo "$ATTRIB" | grep -q "attribution (wall"
+    echo "$ATTRIB" | grep -q "compose.decode"
+
+    "$PAPSIM" run m.nfa t.bin --ranks=2 --threads=2 \
+        --pipeline=$mode --attrib=json > attrib.txt
+    python3 - <<'PY'
+import json
+line = next(l for l in open("attrib.txt")
+            if l.startswith("{") and '"wall_ms"' in l)
+a = json.loads(line)
+wall = a["wall_ms"]
+charged = sum(a["buckets"].values())
+assert wall > 0, a
+assert abs(charged - wall) <= max(0.05 * wall, 0.5), (charged, wall)
+assert "device.execute" in a["buckets"], a
+assert "workers.execute" in a["aux"], a
+PY
+done
+
+# Overlap-mode traces carry causal flow events: every flow id runs
+# s -> t -> f with ordered timestamps, B/E stay balanced per track.
+"$PAPSIM" run m.nfa t.bin --ranks=2 --threads=2 --pipeline=overlap \
+    --trace-out trace_overlap.json >/dev/null
+python3 - <<'PY'
+import json
+from collections import defaultdict
+events = json.load(open("trace_overlap.json"))
+per_track = defaultdict(int)
+flows = defaultdict(dict)
+for e in events:
+    if e["ph"] in "BE":
+        per_track[e["tid"]] += 1 if e["ph"] == "B" else -1
+    if e["ph"] in "stf":
+        assert e["id"] != 0
+        flows[e["id"]][e["ph"]] = e["ts"]
+    if e["ph"] == "f":
+        assert e.get("bp") == "e", e
+assert all(v == 0 for v in per_track.values()), per_track
+assert flows, "no flow events in overlap trace"
+for fid, ph in flows.items():
+    assert set(ph) == {"s", "t", "f"}, (fid, ph)
+    assert ph["s"] <= ph["t"] <= ph["f"], (fid, ph)
+counters = {e["name"] for e in events if e["ph"] == "C"}
+assert "pipeline.inflight" in counters, counters
+PY
+
 # Without the flags, no artifacts appear.
 "$PAPSIM" run m.nfa t.bin --ranks=2 >/dev/null
 test ! -f extra.json

@@ -12,14 +12,21 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <map>
 #include <new>
 #include <thread>
 #include <vector>
 
+#include "ap/ap_config.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "engine/trace.h"
+#include "nfa/glushkov.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
+#include "pap/runner.h"
+#include "workload_helpers.h"
 
 // Global allocation counter so tests can assert that disabled tracing
 // never touches the heap. Counting relaxed is fine: the tests that
@@ -429,6 +436,157 @@ TEST(ObsTrace, MetricsJsonIsParseable)
     // Names needing escapes still serialize to valid JSON.
     reg.add("weird\"name\\with\nstuff");
     EXPECT_TRUE(JsonChecker::valid(reg.toJson())) << reg.toJson();
+}
+
+TEST(ObsRegistry, NonFiniteGaugesSerializeToValidJson)
+{
+    obs::MetricsRegistry reg;
+    reg.setGauge("fine", 1.5);
+    reg.setGauge("nan", std::numeric_limits<double>::quiet_NaN());
+    reg.setGauge("pos_inf", std::numeric_limits<double>::infinity());
+    reg.setGauge("neg_inf", -std::numeric_limits<double>::infinity());
+    // A histogram fed a non-finite observation must not poison the
+    // serialized stats either.
+    reg.observe("hist", 2.0);
+    reg.observe("hist", std::numeric_limits<double>::quiet_NaN());
+
+    const std::string json = reg.toJson();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    // bare nan/inf/Infinity tokens are not JSON; they must have been
+    // replaced with a finite placeholder.
+    EXPECT_EQ(json.find("nan,"), std::string::npos) << json;
+    EXPECT_EQ(json.find(": nan"), std::string::npos) << json;
+    EXPECT_EQ(json.find("inf,"), std::string::npos) << json;
+    EXPECT_EQ(json.find(": inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find("Infinity"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"fine\": 1.5"), std::string::npos) << json;
+}
+
+TEST(ObsTrace, FlowEventsCarryIdsAndBindingPoint)
+{
+    obs::TraceSink sink;
+    const std::uint64_t id1 = obs::TraceSink::newFlowId();
+    const std::uint64_t id2 = obs::TraceSink::newFlowId();
+    ASSERT_NE(id1, 0u);
+    ASSERT_NE(id2, 0u);
+    EXPECT_NE(id1, id2);
+
+    sink.begin("pipeline.admit");
+    sink.flow('s', "segment", id1);
+    sink.end();
+    sink.begin("pipeline.task");
+    sink.flow('t', "segment", id1);
+    sink.end();
+    sink.begin("pipeline.consume");
+    sink.flow('f', "segment", id1);
+    sink.end();
+
+    int starts = 0, steps = 0, finishes = 0;
+    for (const obs::TraceEvent &e : sink.events()) {
+        if (e.ph == 's') { ++starts; EXPECT_EQ(e.id, id1); }
+        if (e.ph == 't') { ++steps; EXPECT_EQ(e.id, id1); }
+        if (e.ph == 'f') { ++finishes; EXPECT_EQ(e.id, id1); }
+    }
+    EXPECT_EQ(starts, 1);
+    EXPECT_EQ(steps, 1);
+    EXPECT_EQ(finishes, 1);
+
+    const std::string json = sink.toJson();
+    EXPECT_TRUE(JsonChecker::valid(json)) << json;
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+    // Flow ends bind to the enclosing slice ("bp":"e"), which is what
+    // makes Perfetto draw the arrow into the consuming span.
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+}
+
+/**
+ * The PR-pinned bug: overlap-mode runs used to emit unbalanced B/E
+ * pairs on worker tracks and no flow linkage at all. A real overlap
+ * run must produce a trace with (a) every B matched by an E on its
+ * own track in stack order, (b) every admitted segment's flow id
+ * appearing as s -> t -> f in non-decreasing timestamp order, and
+ * (c) valid JSON overall.
+ */
+TEST(ObsTrace, OverlapPipelineTraceIsWellFormed)
+{
+    obs::TraceSink sink;
+    obs::setTracer(&sink);
+
+    Rng rng(77);
+    const Nfa nfa = compileRuleset({{"ab.*cd", 1}, {"fgh", 2}}, "m");
+    const InputTrace input = randomTextTrace(rng, 16384, "abcdfgh ");
+    ApConfig cfg = ApConfig::d480(1);
+    cfg.devicesPerRank = 8;
+    cfg.halfCoresPerDevice = 1;
+    PapOptions opt;
+    opt.threads = 4;
+    opt.pipeline = PipelineMode::Overlap;
+    const PapResult r = runPap(nfa, input, cfg, opt);
+    obs::setTracer(nullptr);
+    ASSERT_TRUE(r.status.ok()) << r.status.toString();
+    ASSERT_GT(r.numSegments, 1u);
+
+    EXPECT_EQ(sink.openSpans(), 0u);
+
+    std::map<std::int64_t, std::vector<std::string>> stacks;
+    struct FlowTimes
+    {
+        double start = -1.0, step = -1.0, finish = -1.0;
+    };
+    std::map<std::uint64_t, FlowTimes> flows;
+    bool saw_inflight_counter = false;
+    bool saw_density_counter = false;
+    for (const obs::TraceEvent &e : sink.events()) {
+        switch (e.ph) {
+          case 'B':
+            stacks[e.tid].push_back(e.name);
+            break;
+          case 'E':
+            ASSERT_FALSE(stacks[e.tid].empty())
+                << "E without B on track " << e.tid;
+            EXPECT_EQ(stacks[e.tid].back(), e.name)
+                << "interleaved B/E on track " << e.tid;
+            stacks[e.tid].pop_back();
+            break;
+          case 's':
+            ASSERT_NE(e.id, 0u);
+            flows[e.id].start = e.ts;
+            break;
+          case 't':
+            ASSERT_NE(e.id, 0u);
+            flows[e.id].step = e.ts;
+            break;
+          case 'f':
+            ASSERT_NE(e.id, 0u);
+            flows[e.id].finish = e.ts;
+            break;
+          case 'C':
+            if (e.name == std::string("pipeline.inflight"))
+                saw_inflight_counter = true;
+            if (e.name == std::string("engine.active_density"))
+                saw_density_counter = true;
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed span on track " << tid;
+
+    // One flow per segment, each fully linked admission ->
+    // execution -> composition with causally ordered timestamps.
+    EXPECT_EQ(flows.size(), static_cast<std::size_t>(r.numSegments));
+    for (const auto &[id, t] : flows) {
+        EXPECT_GE(t.start, 0.0) << "flow " << id << " never started";
+        EXPECT_GE(t.step, t.start) << "flow " << id;
+        EXPECT_GE(t.finish, t.step) << "flow " << id;
+    }
+    EXPECT_TRUE(saw_inflight_counter);
+    EXPECT_TRUE(saw_density_counter);
+
+    EXPECT_TRUE(JsonChecker::valid(sink.toJson()));
 }
 
 TEST(ObsTrace, DisabledTracerAllocatesNothing)

@@ -41,6 +41,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "nfa/analysis.h"
+#include "obs/attrib.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 #include "nfa/anml.h"
@@ -71,7 +72,7 @@ usage()
         "  run      <in.nfa> <trace.bin> [--ranks=N] [--sequential]\n"
         "           [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]\n"
         "           [--verbose] [--metrics-json=PATH]\n"
-        "           [--trace-out=PATH] [--profile]\n"
+        "           [--trace-out=PATH] [--profile] [--attrib[=json]]\n"
         "           [--engine=sparse|dense|auto]\n"
         "           [--pipeline=barrier|overlap|auto]\n"
         "           [--overflow=batch|sequential|fail]\n"
@@ -90,6 +91,9 @@ usage()
         "           SPEC: kind[:count[:rate]],... with kinds\n"
         "           corrupt-sv evict-svc drop-report truncate-report\n"
         "           drop-fiv stall-worker crash-worker all\n"
+        "           --attrib prints the run's wall-time attribution\n"
+        "           ledger (PAP runs only); --attrib=json emits it as\n"
+        "           JSON on stdout.\n"
         "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
         "  bench    <name>\n");
     return 2;
@@ -409,6 +413,12 @@ cmdRun(const std::vector<std::string> &args)
     const bool profile = flagValue(args, "--profile", &v);
     ObsSession obs_session(metrics_path, trace_path, profile);
 
+    std::string attrib_mode;
+    const bool want_attrib = flagValue(args, "--attrib", &attrib_mode);
+    if (want_attrib && !attrib_mode.empty() && attrib_mode != "json")
+        return fail("--attrib accepts no value or 'json', got '" +
+                    attrib_mode + "'");
+
     std::uint32_t ranks = 1;
     if (flagValue(args, "--ranks", &v) &&
         (!parseU32(v, &ranks) || ranks == 0))
@@ -605,6 +615,24 @@ cmdRun(const std::vector<std::string> &args)
         }
         if (injector)
             std::printf("  %s\n", injector->summary().c_str());
+        if (want_attrib && attrib_mode == "json") {
+            std::printf("%s\n", obs::attribToJson(r.attrib).c_str());
+        } else if (want_attrib) {
+            // Wall buckets partition the measured wall clock (they sum
+            // to it, "other" absorbing the residual); aux buckets are
+            // worker-side time that overlaps the wall and shows "-".
+            Table table({"Bucket", "ms", "% wall"});
+            for (const auto &b : r.attrib.buckets)
+                table.addRow(
+                    {b.aux ? b.name + " (aux)" : b.name,
+                     fmtDouble(b.ms, 3),
+                     b.aux || r.attrib.wallMs <= 0.0
+                         ? std::string("-")
+                         : fmtDouble(100.0 * b.ms / r.attrib.wallMs,
+                                     1)});
+            std::printf("\nattribution (wall %.3f ms):\n%s",
+                        r.attrib.wallMs, table.toString().c_str());
+        }
         reports = r.reports;
     }
     for (std::size_t i = 0; i < reports.size() && i < max_reports; ++i)
