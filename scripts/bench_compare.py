@@ -52,16 +52,23 @@ def direction(name):
     """'lower', 'higher', or None (informational) for a metric name."""
     if name.endswith("_ms"):
         return "lower"
+    # Serve-load health counters (BENCH_serve.json): any crash is a
+    # regression, and more shed sessions at a fixed offered load means
+    # admission got worse.
+    if name.endswith("_crashes") or name.endswith("_shed"):
+        return "lower"
     if ("per_sec" in name or "speedup" in name or "occupancy" in name
-            or name.endswith("gain")):
+            or name.endswith("gain") or name.endswith("_admitted")):
         return "higher"
     return None
 
 
 def is_relative(name):
     """True for unitless ratio metrics, comparable across machines."""
+    # Crash counts are absolute but machine-independent (the soak
+    # criterion is zero everywhere), so CI gates them too.
     return ("speedup" in name or "occupancy" in name
-            or name.endswith("gain"))
+            or name.endswith("gain") or name.endswith("_crashes"))
 
 
 def is_number(v):
@@ -179,7 +186,14 @@ def append_summary(path, entry):
     try:
         with open(path, encoding="utf-8") as f:
             summary = json.load(f)
-        if not isinstance(summary.get("entries"), list):
+        # An empty or pre-seeded trajectory may hold a bare list (or
+        # any non-dict JSON); .get on those raised AttributeError and
+        # crashed the very first run against a fresh summary file.
+        # Re-seed from whatever list content is salvageable.
+        if isinstance(summary, list):
+            summary = {"bench_summary_version": 1, "entries": summary}
+        if (not isinstance(summary, dict)
+                or not isinstance(summary.get("entries"), list)):
             raise ValueError("no entries list")
     except (FileNotFoundError, ValueError, json.JSONDecodeError):
         summary = {"bench_summary_version": 1, "entries": []}

@@ -14,6 +14,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::DeadlineExceeded: return "DeadlineExceeded";
       case ErrorCode::Cancelled: return "Cancelled";
       case ErrorCode::CheckpointCorrupt: return "CheckpointCorrupt";
+      case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+      case ErrorCode::StreamQuarantined: return "StreamQuarantined";
     }
     return "Unknown";
 }

@@ -39,6 +39,11 @@ enum class ErrorCode : std::uint8_t
     Cancelled,
     /** A checkpoint file is missing, truncated, or fails its CRC. */
     CheckpointCorrupt,
+    /** A bounded resource (admission queue, session slots) is full. */
+    ResourceExhausted,
+    /** A stream kept failing after every recovery rung and was
+        terminated to protect its siblings. */
+    StreamQuarantined,
 };
 
 /** Stable name of an error code ("CapacityExceeded", ...). */

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
 
@@ -10,6 +13,28 @@ namespace pap {
 namespace exec {
 
 namespace {
+
+/**
+ * fsync the directory containing @p path, making a just-renamed entry
+ * durable: rename() orders the data (already fsynced through the file
+ * fd) but the *directory entry* lives in the parent, and a crash
+ * before the parent inode reaches disk forgets the rename. Errors are
+ * reported so callers can refuse to advance past an undurable
+ * frontier.
+ */
+bool
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
 
 constexpr char kMagic[8] = {'P', 'A', 'P', 'C', 'K', 'P', 'T', '\0'};
 
@@ -235,9 +260,13 @@ saveCheckpoint(const std::string &path,
                              "' for writing");
     const std::size_t written =
         std::fwrite(file.buf.data(), 1, file.buf.size(), fp);
+    // fflush drains stdio's buffer into the kernel; fsync makes the
+    // bytes durable. Both must succeed before the rename publishes
+    // the file, or a crash can expose a checkpoint with no data.
     const bool flushed = std::fflush(fp) == 0;
+    const bool synced = flushed && ::fsync(::fileno(fp)) == 0;
     std::fclose(fp);
-    if (written != file.buf.size() || !flushed) {
+    if (written != file.buf.size() || !synced) {
         std::remove(tmp.c_str());
         return Status::error(ErrorCode::InvalidInput,
                              "short write on checkpoint temp file '",
@@ -249,6 +278,10 @@ saveCheckpoint(const std::string &path,
                              "cannot rename checkpoint into place at '",
                              path, "'");
     }
+    if (!syncParentDir(path))
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot fsync checkpoint directory of '",
+                             path, "'");
     obs::metrics().add("exec.checkpoint.saves");
     return Status();
 }

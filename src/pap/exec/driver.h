@@ -24,6 +24,7 @@
 #ifndef PAP_PAP_EXEC_DRIVER_H
 #define PAP_PAP_EXEC_DRIVER_H
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -47,6 +48,16 @@ struct HardenedExecOptions
     /** First retry backoff; doubles per retry up to backoffCapMs. */
     std::uint32_t backoffBaseMs = 1;
     std::uint32_t backoffCapMs = 64;
+    /**
+     * Decorrelate retries: when true, each backoff sleep keeps half
+     * its capped-exponential delay and replaces the rest with a draw
+     * from a pure hash of (backoffJitterSeed, task index, retry), so
+     * workers that fail in lockstep do not retry in lockstep. Timing
+     * only — never observable in reports or metrics other than wall
+     * clock, and never above the un-jittered delay.
+     */
+    bool backoffJitter = true;
+    std::uint64_t backoffJitterSeed = 0;
     /** Optional injector consulted before every attempt. */
     FaultInjector *injector = nullptr;
 };
@@ -72,6 +83,19 @@ struct TaskReport
 using TaskFn =
     std::function<Status(std::size_t index,
                          const CancellationToken &cancel)>;
+
+/**
+ * The backoff delay before retry @p retry (0-based) of task @p index:
+ * base * 2^retry capped at backoffCapMs — and, with jitter enabled,
+ * half that plus a draw from a pure hash of (backoffJitterSeed, index,
+ * retry). A pure function of its arguments: the same tuple sleeps the
+ * same amount for every thread count and scheduling order, and the
+ * jittered delay never exceeds the deterministic one. Shared by the
+ * segment pipeline and the serve layer's chunk retry ladder.
+ */
+std::chrono::milliseconds retryBackoff(const HardenedExecOptions &options,
+                                       std::size_t index,
+                                       std::uint32_t retry);
 
 /**
  * Run tasks [0, count) on a hardened pool and block until every task

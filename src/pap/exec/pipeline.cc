@@ -14,15 +14,14 @@ namespace exec {
 
 namespace {
 
-/** Backoff before retry @p retry (0-based): base * 2^retry, capped. */
-std::chrono::milliseconds
-backoffDelay(const HardenedExecOptions &options, std::uint32_t retry)
+/** SplitMix64 finalizer: the same mix the fault injector hashes with. */
+std::uint64_t
+mixJitter(std::uint64_t x)
 {
-    const std::uint32_t shift = std::min<std::uint32_t>(retry, 20);
-    const std::uint64_t raw =
-        static_cast<std::uint64_t>(options.backoffBaseMs) << shift;
-    return std::chrono::milliseconds(
-        std::min<std::uint64_t>(raw, options.backoffCapMs));
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
 }
 
 /**
@@ -44,6 +43,26 @@ parkStalled(const CancellationToken &token, bool watchdog_armed,
 }
 
 } // namespace
+
+std::chrono::milliseconds
+retryBackoff(const HardenedExecOptions &options, std::size_t index,
+             std::uint32_t retry)
+{
+    const std::uint32_t shift = std::min<std::uint32_t>(retry, 20);
+    const std::uint64_t raw =
+        static_cast<std::uint64_t>(options.backoffBaseMs) << shift;
+    std::uint64_t delay =
+        std::min<std::uint64_t>(raw, options.backoffCapMs);
+    if (options.backoffJitter && delay > 1) {
+        const std::uint64_t half = delay / 2;
+        const std::uint64_t draw = mixJitter(
+            mixJitter(options.backoffJitterSeed ^
+                      (0x4a49 + static_cast<std::uint64_t>(index))) ^
+            retry);
+        delay = half + draw % (delay - half + 1);
+    }
+    return std::chrono::milliseconds(delay);
+}
 
 SegmentPipeline::SegmentPipeline(const Options &options,
                                  std::size_t count, TaskFn fn)
@@ -307,7 +326,8 @@ SegmentPipeline::runAttempts(std::size_t index, TaskReport &report)
             obs::metrics().add("exec.retry.attempts");
             obs::AttribLedger::Scope backoff(
                 opts_.attrib, "workers.retry_backoff", /*aux=*/true);
-            std::this_thread::sleep_for(backoffDelay(options, attempt));
+            std::this_thread::sleep_for(
+                retryBackoff(options, index, attempt));
         }
     }
     auto &m = obs::metrics();

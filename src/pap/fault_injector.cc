@@ -10,8 +10,10 @@ namespace pap {
 namespace {
 
 const char *const kKindNames[kFaultKindCount] = {
-    "corrupt-sv",  "evict-svc",    "drop-report", "truncate-report",
-    "drop-fiv",    "stall-worker", "crash-worker",
+    "corrupt-sv",        "evict-svc",   "drop-report",
+    "truncate-report",   "drop-fiv",    "stall-worker",
+    "crash-worker",      "disconnect-client", "slow-client",
+    "swap-during-stream",
 };
 
 /** Metric suffix: spec name with '-' mapped to '_'. */
@@ -158,7 +160,8 @@ FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
                 kind_name,
                 "' (want corrupt-sv, evict-svc, drop-report, "
                 "truncate-report, drop-fiv, stall-worker, "
-                "crash-worker, or all)");
+                "crash-worker, disconnect-client, slow-client, "
+                "swap-during-stream, or all)");
     }
     return injector;
 }
@@ -281,6 +284,46 @@ FaultInjector::onWorkerAttempt(std::uint64_t segment,
                                               : WorkerFault::Crash;
     }
     return WorkerFault::None;
+}
+
+FaultInjector::ServeFault
+FaultInjector::onServeChunk(std::uint64_t session, std::uint64_t chunk)
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    // Selection mirrors the worker kinds: a pure hash of (seed, kind,
+    // session) picks the affected sessions and the chunk a fault
+    // strikes at, so the set is invariant under scheduling order. The
+    // shared budget then bounds total fires across the run.
+    for (const FaultKind kind :
+         {FaultKind::DisconnectClient, FaultKind::SlowClient,
+          FaultKind::SwapDuringStream}) {
+        auto &b = budgets[static_cast<std::size_t>(kind)];
+        if (b.remaining == 0)
+            continue;
+        const std::uint64_t h =
+            mix64(mix64(seed_ ^ (0x5652ull +
+                                 static_cast<std::uint64_t>(kind))) ^
+                  session);
+        if (b.rate < 1.0 && hashToUnit(h) >= b.rate)
+            continue;
+        // Strike within the first few chunks so short streams are
+        // still hit; slow-client keeps trickling from there on.
+        const std::uint64_t strike = (h >> 17) % 3;
+        const bool fires = kind == FaultKind::SlowClient
+                               ? chunk >= strike
+                               : chunk == strike;
+        if (!fires)
+            continue;
+        --b.remaining;
+        recordInjection(kind);
+        switch (kind) {
+          case FaultKind::DisconnectClient:
+            return ServeFault::Disconnect;
+          case FaultKind::SlowClient: return ServeFault::Slow;
+          default: return ServeFault::Swap;
+        }
+    }
+    return ServeFault::None;
 }
 
 void

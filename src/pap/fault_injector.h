@@ -23,6 +23,17 @@
  *  - crash-worker     a segment attempt dies outright (exercises
  *                     retry exhaustion and per-segment recovery).
  *
+ * Three more kinds target the serve layer (src/serve): they model
+ * client and operator behavior against a long-lived daemon rather
+ * than hardware or worker failures:
+ *
+ *  - disconnect-client  a session's client vanishes mid-stream (the
+ *                       session is aborted; siblings are unaffected);
+ *  - slow-client        a session trickles its input (exercises
+ *                       backpressure and per-stream deadlines);
+ *  - swap-during-stream a ruleset hot-swap lands while streams are in
+ *                       flight (exercises the refcounted registry).
+ *
  * Determinism model: every in-segment hardware fault (corrupt-sv,
  * evict-svc, drop-report, truncate-report) is drawn from a per-segment
  * RNG stream derived from (seed, segment) and consumed in that
@@ -79,11 +90,16 @@ enum class FaultKind : std::uint8_t
     DropFiv,
     StallWorker,
     CrashWorker,
+    DisconnectClient,
+    SlowClient,
+    SwapDuringStream,
 };
 
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 10;
 /** Kinds at or past this index target the host worker pool. */
 inline constexpr std::size_t kWorkerFaultFirst = 5;
+/** Kinds at or past this index target the serve layer. */
+inline constexpr std::size_t kServeFaultFirst = 7;
 
 /** Spec-grammar name of a fault kind ("corrupt-sv", ...). */
 const char *faultKindName(FaultKind kind);
@@ -164,6 +180,29 @@ class FaultInjector
     WorkerFault onWorkerAttempt(std::uint64_t segment,
                                 std::uint32_t attempt);
 
+    /** Serve-layer fault to apply to one session chunk. */
+    enum class ServeFault : std::uint8_t
+    {
+        None,
+        /** The session's client disconnects; the stream is aborted. */
+        Disconnect,
+        /** The client trickles this chunk (producer-side delay). */
+        Slow,
+        /** A ruleset hot-swap lands while this stream is in flight. */
+        Swap,
+    };
+
+    /**
+     * Consult the injector as chunk @p chunk of session @p session is
+     * fed to the serve layer. Like worker faults, selection is a pure
+     * function of (seed, kind, session) — the affected session set
+     * and the strike chunk within a session are invariant under
+     * scheduling — while count is the usual shared fire budget (so
+     * "disconnect-client:8" drops at most eight sessions) and rate
+     * the per-session selection probability.
+     */
+    ServeFault onServeChunk(std::uint64_t session, std::uint64_t chunk);
+
     // --- Bookkeeping -------------------------------------------------
 
     /** Total faults injected so far. */
@@ -192,6 +231,9 @@ class FaultInjector
 
     /** One-line census for CLI output. */
     std::string summary() const;
+
+    /** The seed every deterministic draw derives from. */
+    std::uint64_t seed() const { return seed_; }
 
     /**
      * FIV-stream RNG state for checkpoint serialization. Per-segment

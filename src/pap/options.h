@@ -225,6 +225,15 @@ struct PapOptions
     std::uint32_t retryBackoffCapMs = 64;
 
     /**
+     * Seeded per-(task, attempt) jitter on retry backoff, so workers
+     * that fail together do not retry together (retry storms under
+     * service load). Deterministic — derived from the fault seed and
+     * the task index — and timing-only: reports and per-figure
+     * metrics are byte-identical with it on or off.
+     */
+    bool retryBackoffJitter = true;
+
+    /**
      * Crash-consistent checkpoint file. When non-empty the runner
      * serializes the composition frontier here after composing each
      * segment, resumes from a matching checkpoint at startup, and

@@ -73,7 +73,10 @@ makeHardenedOptions(const PapOptions &options,
     opt.maxRetries = options.maxSegmentRetries;
     opt.backoffBaseMs = options.retryBackoffBaseMs;
     opt.backoffCapMs = options.retryBackoffCapMs;
+    opt.backoffJitter = options.retryBackoffJitter;
     opt.injector = options.faultInjector;
+    if (options.faultInjector)
+        opt.backoffJitterSeed = options.faultInjector->seed();
     if (options.segmentDeadlineMs > 0.0) {
         opt.deadlineMs = options.segmentDeadlineMs;
     } else if (options.segmentDeadlineMs == 0.0) {

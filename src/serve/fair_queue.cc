@@ -1,0 +1,104 @@
+#include "serve/fair_queue.h"
+
+#include <algorithm>
+
+namespace pap {
+namespace serve {
+
+FairQueue::Tenant &
+FairQueue::tenant(const std::string &name)
+{
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+        it = tenants_.emplace(name, Tenant{}).first;
+        order_.push_back(name);
+    }
+    return it->second;
+}
+
+void
+FairQueue::setWeight(const std::string &name, double weight)
+{
+    tenant(name).weight = std::max(weight, 1e-6);
+}
+
+void
+FairQueue::push(const std::string &name, const ChunkTask &task)
+{
+    tenant(name).fifo.push_back(task);
+    ++size_;
+}
+
+void
+FairQueue::advance()
+{
+    cursor_ = (cursor_ + 1) % order_.size();
+    topped_ = false;
+}
+
+std::optional<ChunkTask>
+FairQueue::pop()
+{
+    if (size_ == 0 || order_.empty())
+        return std::nullopt;
+    // Two full cycles suffice for any weight >= 0.5: the first visit
+    // of a pending tenant banks its credit, the second spends it.
+    for (std::size_t visited = 0; visited < 2 * order_.size();) {
+        Tenant &t = tenants_[order_[cursor_]];
+        if (t.fifo.empty()) {
+            t.deficit = 0.0; // credit never accumulates while idle
+            advance();
+            ++visited;
+            continue;
+        }
+        if (!topped_) {
+            t.deficit += t.weight;
+            topped_ = true;
+        }
+        if (t.deficit < 1.0) {
+            advance();
+            ++visited;
+            continue;
+        }
+        t.deficit -= 1.0;
+        ChunkTask task = t.fifo.front();
+        t.fifo.pop_front();
+        --size_;
+        if (t.fifo.empty()) {
+            t.deficit = 0.0;
+            advance();
+        }
+        return task;
+    }
+    // Tiny weights can need many cycles to bank one unit of credit;
+    // rather than spin, serve the first pending tenant in visit order
+    // (work conservation beats exact shares at this extreme).
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        Tenant &t = tenants_[order_[i]];
+        if (t.fifo.empty())
+            continue;
+        ChunkTask task = t.fifo.front();
+        t.fifo.pop_front();
+        --size_;
+        return task;
+    }
+    return std::nullopt;
+}
+
+void
+FairQueue::eraseSession(std::uint64_t session)
+{
+    for (auto &entry : tenants_) {
+        auto &fifo = entry.second.fifo;
+        const std::size_t before = fifo.size();
+        fifo.erase(std::remove_if(fifo.begin(), fifo.end(),
+                                  [session](const ChunkTask &t) {
+                                      return t.session == session;
+                                  }),
+                   fifo.end());
+        size_ -= before - fifo.size();
+    }
+}
+
+} // namespace serve
+} // namespace pap

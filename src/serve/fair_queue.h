@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Weighted deficit-round-robin scheduling of chunk tasks across
+ * tenants. Every admitted session belongs to a tenant; its chunk
+ * tasks enter that tenant's FIFO, and the dispatchers pop tasks by
+ * cycling tenants and spending per-tenant deficit credit, so one
+ * tenant flooding the daemon with streams cannot starve the others:
+ * with equal weights each tenant with pending work gets an equal
+ * share of worker time, and a weight of 2 gets twice that.
+ *
+ * Not internally synchronized: the Server drives it under its own
+ * mutex (every push/pop already happens inside a critical section
+ * that also updates session state, so a second lock would only add
+ * overhead and deadlock surface). Unit tests exercise it directly,
+ * single-threaded.
+ */
+
+#ifndef PAP_SERVE_FAIR_QUEUE_H
+#define PAP_SERVE_FAIR_QUEUE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pap {
+namespace serve {
+
+/** One schedulable unit: a chunk of one session, identified by id. */
+struct ChunkTask
+{
+    std::uint64_t session = 0;
+    std::uint64_t chunk = 0;
+};
+
+class FairQueue
+{
+  public:
+    /**
+     * Set @p tenant's scheduling weight (default 1.0; must be > 0).
+     * Takes effect on its next round-robin visit.
+     */
+    void setWeight(const std::string &tenant, double weight);
+
+    /** Enqueue @p task on @p tenant's FIFO. */
+    void push(const std::string &tenant, const ChunkTask &task);
+
+    /**
+     * Pop the next task by weighted deficit round robin: visit
+     * tenants in cyclic order, top up each visited tenant's deficit
+     * by quantum * weight, and serve its head while credit remains
+     * (every task costs 1). Empty tenants keep no credit — deficit
+     * only accumulates against pending work. Returns nullopt when no
+     * tenant has work.
+     */
+    std::optional<ChunkTask> pop();
+
+    /** Drop every queued task of @p session (abort/quarantine path). */
+    void eraseSession(std::uint64_t session);
+
+    /** Tasks queued across all tenants. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+  private:
+    struct Tenant
+    {
+        std::deque<ChunkTask> fifo;
+        double weight = 1.0;
+        double deficit = 0.0;
+    };
+
+    Tenant &tenant(const std::string &name);
+    void advance();
+
+    std::unordered_map<std::string, Tenant> tenants_;
+    /** Cyclic visit order; grows as tenants first appear. */
+    std::vector<std::string> order_;
+    std::size_t cursor_ = 0;
+    /** Whether the tenant under the cursor got this visit's credit. */
+    bool topped_ = false;
+    std::size_t size_ = 0;
+};
+
+} // namespace serve
+} // namespace pap
+
+#endif // PAP_SERVE_FAIR_QUEUE_H

@@ -1,0 +1,77 @@
+#include "serve/ruleset_registry.h"
+
+#include <algorithm>
+
+#include "engine/dense_nfa.h"
+#include "obs/metrics.h"
+
+namespace pap {
+namespace serve {
+
+RulesetRegistry::RulesetRegistry(EngineKind engine) : engine_(engine) {}
+
+Result<std::shared_ptr<const CompiledRuleset>>
+RulesetRegistry::install(const Nfa &nfa)
+{
+    if (!nfa.finalized())
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot install unfinalized ruleset '",
+                             nfa.name(), "'");
+
+    // Compile outside the lock: installs are rare but expensive, and
+    // open()/current() must never wait on a compilation.
+    auto ruleset = std::make_shared<CompiledRuleset>();
+    ruleset->nfa = nfa;
+    ruleset->cnfa = std::make_unique<const CompiledNfa>(ruleset->nfa);
+    ruleset->engines =
+        std::make_unique<EngineContext>(*ruleset->cnfa, engine_);
+    if (!ruleset->engines->status().ok())
+        return ruleset->engines->status();
+    ruleset->comps = connectedComponents(ruleset->nfa);
+    ruleset->asg = alwaysActiveStates(ruleset->nfa);
+    if (const DenseNfa *dense = ruleset->engines->denseNfa()) {
+        ruleset->rangeSizes = dense->rangeSizes();
+    } else {
+        ruleset->rangeSizes = RangeAnalysis(ruleset->nfa).rangeSizes();
+    }
+
+    std::shared_ptr<const CompiledRuleset> published;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ruleset->generation = nextGeneration_++;
+        published = std::move(ruleset);
+        current_ = published;
+        live_.push_back(published);
+    }
+    obs::metrics().setGauge(
+        "serve.swap.generation",
+        static_cast<double>(published->generation));
+    return published;
+}
+
+std::shared_ptr<const CompiledRuleset>
+RulesetRegistry::current() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+std::uint64_t
+RulesetRegistry::generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ ? current_->generation : 0;
+}
+
+std::size_t
+RulesetRegistry::liveGenerations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(std::remove_if(live_.begin(), live_.end(),
+                               [](const auto &w) { return w.expired(); }),
+                live_.end());
+    return live_.size();
+}
+
+} // namespace serve
+} // namespace pap

@@ -25,6 +25,17 @@
  *       (.anml); all commands accept either by extension.
  *   bench    <name>
  *       Build a registered Table-1 benchmark and print its profile.
+ *   serve    <in.nfa> --socket=PATH [daemon flags]
+ *       Run the streaming daemon: many concurrent client streams
+ *       against one hot-swappable ruleset over a Unix socket, with
+ *       admission control, per-tenant fair scheduling, backpressure,
+ *       and graceful drain on SIGTERM (checkpointing keyed streams).
+ *   stream   <socket> <tenant> <trace.bin> [--key=K] [--resume]
+ *       Stream a trace to a running daemon and print the report in
+ *       `run` format; --resume continues stream K from its drain
+ *       checkpoint.
+ *   ctl      <socket> ping|stats|drain|swap <nfa>|weight <t> <w>
+ *       Poke a running daemon.
  */
 
 #include <cerrno>
@@ -52,6 +63,8 @@
 #include "pap/run_common.h"
 #include "pap/runner.h"
 #include "pap/speculative.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 #include "workloads/benchmarks.h"
 #include "workloads/trace_gen.h"
 
@@ -95,7 +108,21 @@ usage()
         "           ledger (PAP runs only); --attrib=json emits it as\n"
         "           JSON on stdout.\n"
         "  convert  <in.(nfa|anml)> <out.(nfa|anml)>\n"
-        "  bench    <name>\n");
+        "  bench    <name>\n"
+        "  serve    <in.nfa> --socket=PATH [--threads=N]\n"
+        "           [--max-sessions=N] [--tenant-cap=N] [--window=N]\n"
+        "           [--chunk=N] [--lookback=N] [--quarantine-after=N]\n"
+        "           [--session-deadline-ms=X] [--checkpoint-dir=DIR]\n"
+        "           [--engine=sparse|dense|auto] [--deadline-ms=X]\n"
+        "           [--max-retries=N] [--inject-faults=SPEC]\n"
+        "           [--fault-seed=N] [--metrics-json=PATH]\n"
+        "           serve-mode SPEC adds the stream fault kinds\n"
+        "           disconnect-client slow-client swap-during-stream\n"
+        "  stream   <socket> <tenant> <trace.bin|-> [--key=K]\n"
+        "           [--resume] [--max-reports=N]\n"
+        "           '-' streams stdin incrementally as it arrives\n"
+        "  ctl      <socket> ping|stats|drain|swap <nfa>|\n"
+        "           weight <tenant> <w>\n");
     return 2;
 }
 
@@ -685,6 +712,194 @@ cmdBench(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    if (!readableFile(args[0]))
+        return fail("cannot open automaton file '" + args[0] + "'");
+    std::string socket_path;
+    if (!pathFlag(args, "--socket", &socket_path) ||
+        socket_path.empty())
+        return fail("serve needs --socket=PATH");
+
+    serve::ServeOptions opt;
+    std::string v;
+    if (flagValue(args, "--threads", &v) && !parseU32(v, &opt.threads))
+        return fail("--threads needs an integer, got '" + v + "'");
+    if (flagValue(args, "--max-sessions", &v) &&
+        (!parseU32(v, &opt.maxSessions) || opt.maxSessions == 0))
+        return fail("--max-sessions needs a positive integer, got '" +
+                    v + "'");
+    if (flagValue(args, "--tenant-cap", &v) &&
+        (!parseU32(v, &opt.tenantSessionCap) ||
+         opt.tenantSessionCap == 0))
+        return fail("--tenant-cap needs a positive integer, got '" + v +
+                    "'");
+    if (flagValue(args, "--window", &v) &&
+        (!parseU32(v, &opt.sessionWindow) || opt.sessionWindow == 0))
+        return fail("--window needs a positive integer, got '" + v +
+                    "'");
+    if (flagValue(args, "--chunk", &v) &&
+        (!parseU32(v, &opt.chunkSymbols) || opt.chunkSymbols == 0))
+        return fail("--chunk needs a positive integer, got '" + v +
+                    "'");
+    if (flagValue(args, "--lookback", &v) &&
+        !parseU32(v, &opt.boundaryLookback))
+        return fail("--lookback needs an integer, got '" + v + "'");
+    if (flagValue(args, "--quarantine-after", &v) &&
+        (!parseU32(v, &opt.quarantineAfter) ||
+         opt.quarantineAfter == 0))
+        return fail("--quarantine-after needs a positive integer, "
+                    "got '" + v + "'");
+    if (flagValue(args, "--session-deadline-ms", &v) &&
+        !parseF64(v, &opt.sessionDeadlineMs))
+        return fail("--session-deadline-ms needs a number, got '" + v +
+                    "'");
+    pathFlag(args, "--checkpoint-dir", &opt.checkpointDir);
+    if (flagValue(args, "--engine", &v)) {
+        const Result<EngineKind> parsed = parseEngineKind(v);
+        if (!parsed.ok())
+            return fail(parsed.status().toString());
+        opt.pap.engine = parsed.value();
+    }
+    if (flagValue(args, "--deadline-ms", &v) &&
+        !parseF64(v, &opt.pap.segmentDeadlineMs))
+        return fail("--deadline-ms needs a number, got '" + v + "'");
+    if (flagValue(args, "--max-retries", &v) &&
+        !parseU32(v, &opt.pap.maxSegmentRetries))
+        return fail("--max-retries needs an integer, got '" + v + "'");
+
+    std::unique_ptr<FaultInjector> injector;
+    if (flagValue(args, "--inject-faults", &v)) {
+        std::uint64_t fault_seed = 1;
+        std::string s;
+        if (flagValue(args, "--fault-seed", &s) &&
+            !parseU64(s, &fault_seed))
+            return fail("--fault-seed needs an integer, got '" + s +
+                        "'");
+        Result<FaultInjector> made =
+            FaultInjector::fromSpec(v, fault_seed);
+        if (!made.ok())
+            return fail(made.status().toString());
+        injector =
+            std::make_unique<FaultInjector>(std::move(made.value()));
+        opt.pap.faultInjector = injector.get();
+    }
+
+    const Nfa nfa = loadAutomaton(args[0]);
+    serve::Server server(opt, nfa);
+    if (!server.status().ok())
+        return fail(server.status().toString());
+    std::printf("papsim serve: '%s' (%zu states) on %s\n",
+                nfa.name().c_str(), nfa.size(), socket_path.c_str());
+    const Status st = serve::runSocketServer(server, socket_path);
+    if (!st.ok())
+        return fail(st.toString());
+    const serve::ServerStats stats = server.stats();
+    std::printf("papsim serve: drained — %llu completed, %llu shed, "
+                "%llu quarantined, %llu checkpointed\n",
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.quarantined),
+                static_cast<unsigned long long>(stats.checkpointed));
+    std::string metrics_path;
+    if (pathFlag(args, "--metrics-json", &metrics_path) &&
+        !metrics_path.empty())
+        obs::metrics().writeJsonFile(metrics_path);
+    if (injector)
+        std::printf("  %s\n", injector->summary().c_str());
+    return 0;
+}
+
+int
+cmdStream(const std::vector<std::string> &args)
+{
+    if (args.size() < 3)
+        return usage();
+    const bool from_stdin = args[2] == "-";
+    if (!from_stdin && !readableFile(args[2]))
+        return fail("cannot open trace file '" + args[2] + "'");
+    std::string v, key;
+    flagValue(args, "--key", &key);
+    const bool resume = flagValue(args, "--resume", &v);
+    if (resume && key.empty())
+        return fail("--resume needs --key=K to name the stream");
+    std::uint64_t max_reports = 10;
+    if (flagValue(args, "--max-reports", &v) &&
+        !parseU64(v, &max_reports))
+        return fail("--max-reports needs an integer, got '" + v + "'");
+
+    Result<serve::StreamResult> streamed = [&] {
+        if (from_stdin)
+            // Forward stdin as it arrives, so a slow producer
+            // exercises the daemon's backpressure in real time.
+            return serve::streamFdToDaemon(args[0], args[1], key, 0,
+                                           resume);
+        const InputTrace trace = InputTrace::fromFile(args[2]);
+        const std::vector<Symbol> data(trace.begin(),
+                                       trace.begin() + trace.size());
+        return serve::streamToDaemon(args[0], args[1], key, data,
+                                     resume);
+    }();
+    if (!streamed.ok())
+        return fail(streamed.status().toString());
+    const serve::StreamResult &r = streamed.value();
+    std::printf("serve: %zu matches, %llu symbols in %llu chunks "
+                "(gen %llu)%s\n",
+                r.reports.size(),
+                static_cast<unsigned long long>(r.symbols),
+                static_cast<unsigned long long>(r.chunks),
+                static_cast<unsigned long long>(r.generation),
+                r.chunksRecovered > 0 ? " (recovered)" : "");
+    if (r.resumedSymbols > 0)
+        std::printf("  resumed from checkpoint: %llu symbols already "
+                    "composed\n",
+                    static_cast<unsigned long long>(r.resumedSymbols));
+    for (std::size_t i = 0; i < r.reports.size() && i < max_reports;
+         ++i)
+        std::printf("  match @%llu rule %u\n",
+                    static_cast<unsigned long long>(
+                        r.reports[i].offset),
+                    r.reports[i].code);
+    if (r.reports.size() > max_reports)
+        std::printf("  ... %zu more\n",
+                    r.reports.size() - max_reports);
+    return 0;
+}
+
+int
+cmdCtl(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const std::string &verb = args[1];
+    std::string line;
+    if (verb == "ping") {
+        line = "PING";
+    } else if (verb == "stats") {
+        line = "STATS";
+    } else if (verb == "drain") {
+        line = "DRAIN";
+    } else if (verb == "swap") {
+        if (args.size() < 3)
+            return usage();
+        line = "SWAP " + args[2];
+    } else if (verb == "weight") {
+        if (args.size() < 4)
+            return usage();
+        line = "WEIGHT " + args[2] + " " + args[3];
+    } else {
+        return usage();
+    }
+    const Result<std::string> response = serve::ctlCommand(args[0], line);
+    if (!response.ok())
+        return fail(response.status().toString());
+    std::printf("%s\n", response.value().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -707,5 +922,11 @@ main(int argc, char **argv)
         return cmdConvert(args);
     if (cmd == "bench")
         return cmdBench(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "stream")
+        return cmdStream(args);
+    if (cmd == "ctl")
+        return cmdCtl(args);
     return usage();
 }
