@@ -19,10 +19,22 @@
  * faulted stream dying with an untyped error, or a completed stream
  * whose report list differs from the precomputed oracle.
  *
+ * A final *restart point* measures hard-crash recovery: keyed streams
+ * with periodic checkpointing are fed partway, the Server is
+ * destroyed without draining (the in-process equivalent of kill -9 —
+ * nothing is flushed beyond what the checkpoint writer already made
+ * durable), and a fresh Server is booted on the same checkpoint
+ * directory. Recovery time (manifest replay + RESUME of every
+ * stream), replayed symbols (work re-fed because it postdated the
+ * last checkpoint), and recovered-session counts are reported, and
+ * every recovered stream's final reports are verified byte-identical
+ * to the one-shot oracle.
+ *
  * Emits BENCH_serve.json (path overridable as argv[1]); metric names
  * follow scripts/bench_compare.py direction conventions (*_ms and
  * *_shed lower-is-better, *per_sec* and *_admitted higher,
- * *_crashes lower and gated even cross-machine).
+ * *_crashes lower and gated even cross-machine,
+ * *_replayed_symbols lower, *_recovered_sessions higher).
  *
  * Flags: --faults=SPEC (soak-point injector spec), --fault-seed=N,
  * --max-sessions=N (admission limit the sweep is scaled from).
@@ -34,9 +46,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "bench_common.h"
@@ -264,6 +278,187 @@ runPoint(const std::string &name, std::uint32_t producers,
     return out;
 }
 
+/** Aggregate result of the crash-recovery restart point. */
+struct RestartResult
+{
+    std::uint32_t cycles = 0;
+    std::uint64_t recovered = 0; ///< streams resumed and completed
+    std::uint64_t replayed = 0;  ///< symbols re-fed past the resume offset
+    std::uint64_t mismatches = 0;
+    std::uint64_t violations = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/**
+ * Crash keyed streams mid-flight and time the recovery. Each cycle:
+ * open every trace as a keyed stream with a 1-chunk checkpoint
+ * interval, feed a cycle-dependent fraction, wait for the checkpoint
+ * writer to catch up, destroy the Server without draining, then boot
+ * a fresh Server on the same directory and RESUME + re-feed + finish
+ * every stream, verifying the merged reports against the oracle.
+ */
+RestartResult
+runRestartPoint(std::uint32_t cycles,
+                const std::vector<InputTrace> &traces,
+                const std::vector<std::vector<ReportEvent>> &expected,
+                const Nfa &ruleset)
+{
+    RestartResult out;
+    out.cycles = cycles;
+    const std::uint32_t sessions =
+        static_cast<std::uint32_t>(traces.size());
+
+    char dir_template[] = "serve_load_ckpt.XXXXXX";
+    if (::mkdtemp(dir_template) == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed for restart point\n");
+        ++out.violations;
+        return out;
+    }
+    const std::string ckpt_dir = dir_template;
+
+    serve::ServeOptions opt;
+    opt.threads = bench::hostThreads();
+    opt.maxSessions = sessions;
+    opt.tenantSessionCap = sessions;
+    opt.chunkSymbols = 1024;
+    opt.boundaryLookback = 128;
+    opt.checkpointDir = ckpt_dir;
+    // Checkpoint every composed chunk so even quick-mode traces (a
+    // handful of chunks) have a durable frontier to resume from.
+    opt.checkpointIntervalChunks = 1;
+
+    std::vector<double> recovery_ms;
+    for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
+        std::vector<std::uint64_t> fed(sessions, 0);
+        {
+            serve::Server server(opt, ruleset);
+            if (!server.status().ok()) {
+                std::fprintf(stderr, "restart server boot: %s\n",
+                             server.status().toString().c_str());
+                ++out.violations;
+                break;
+            }
+            for (std::uint32_t s = 0; s < sessions; ++s) {
+                const std::string tenant =
+                    (s % 2 == 0) ? "alice" : "bob";
+                Result<serve::SessionId> opened = server.open(
+                    tenant, "crash-" + std::to_string(s));
+                if (!opened.ok()) {
+                    ++out.violations;
+                    continue;
+                }
+                const InputTrace &trace = traces[s];
+                // Crash point varies per cycle and stream: feed 40,
+                // 60, or 80 percent before pulling the plug.
+                const std::size_t cut =
+                    trace.size() * (40 + 20 * ((cycle + s) % 3)) / 100;
+                for (std::size_t at = 0; at < cut; at += 2048) {
+                    const std::size_t len =
+                        std::min<std::size_t>(2048, cut - at);
+                    if (!server.feed(opened.value(), trace.ptr(at),
+                                     len)
+                             .ok()) {
+                        ++out.violations;
+                        break;
+                    }
+                }
+                fed[s] = cut;
+            }
+            // Give the off-hot-path writer a chance to persist at
+            // least one frontier per stream; a stream that misses the
+            // window still recovers (fresh re-admit at offset 0).
+            const auto deadline =
+                Clock::now() + std::chrono::seconds(5);
+            while (server.stats().periodicCheckpoints < sessions &&
+                   Clock::now() < deadline)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            // Destroy without drain: the crash. Sessions were never
+            // journaled complete, so the manifest still names them.
+        }
+
+        const auto r0 = Clock::now();
+        serve::Server revived(opt, ruleset);
+        if (!revived.status().ok()) {
+            std::fprintf(stderr, "restart recovery boot: %s\n",
+                         revived.status().toString().c_str());
+            ++out.violations;
+            break;
+        }
+        std::vector<serve::SessionId> ids(sessions, 0);
+        std::vector<std::uint64_t> offsets(sessions, 0);
+        std::vector<bool> live(sessions, false);
+        for (std::uint32_t s = 0; s < sessions; ++s) {
+            const std::string tenant = (s % 2 == 0) ? "alice" : "bob";
+            Result<serve::ResumeInfo> res =
+                revived.resume(tenant, "crash-" + std::to_string(s));
+            if (!res.ok()) {
+                std::fprintf(stderr,
+                             "VIOLATION: resume crash-%u failed: %s\n",
+                             s, res.status().toString().c_str());
+                ++out.violations;
+                continue;
+            }
+            ids[s] = res.value().id;
+            offsets[s] = res.value().offset;
+            live[s] = true;
+            out.replayed += fed[s] > res.value().offset
+                                ? fed[s] - res.value().offset
+                                : 0;
+        }
+        recovery_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      r0)
+                .count());
+
+        for (std::uint32_t s = 0; s < sessions; ++s) {
+            if (!live[s])
+                continue;
+            const InputTrace &trace = traces[s];
+            Status fed_st;
+            for (std::size_t at = offsets[s];
+                 fed_st.ok() && at < trace.size(); at += 2048) {
+                const std::size_t len =
+                    std::min<std::size_t>(2048, trace.size() - at);
+                fed_st = revived.feed(ids[s], trace.ptr(at), len);
+            }
+            Result<serve::SessionReport> fin = revived.finish(ids[s]);
+            if (!fed_st.ok() || !fin.ok()) {
+                ++out.violations;
+                continue;
+            }
+            if (fin.value().reports != expected[s]) {
+                ++out.mismatches;
+                std::fprintf(stderr,
+                             "VIOLATION: recovered stream crash-%u "
+                             "reports differ from one-shot run\n",
+                             s);
+                continue;
+            }
+            ++out.recovered;
+        }
+    }
+
+    std::sort(recovery_ms.begin(), recovery_ms.end());
+    out.p50Ms = percentile(recovery_ms, 0.50);
+    out.p99Ms = percentile(recovery_ms, 0.99);
+
+    // The completed cycles journaled every stream complete and
+    // removed its checkpoint; sweep whatever remains and the dir.
+    if (DIR *d = ::opendir(ckpt_dir.c_str())) {
+        while (const dirent *e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            if (name == "." || name == "..")
+                continue;
+            ::unlink((ckpt_dir + "/" + name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(ckpt_dir.c_str());
+    return out;
+}
+
 } // namespace
 
 int
@@ -363,6 +558,24 @@ main(int argc, char **argv)
         rows.push_back(std::move(r));
     }
 
+    // Restart point: SIGKILL-equivalent crash mid-stream, then boot,
+    // RESUME, and verify byte-identical reports.
+    const std::uint32_t restart_cycles =
+        std::getenv("PAP_QUICK") ? 3u : 6u;
+    const RestartResult restart =
+        runRestartPoint(restart_cycles, traces, expected, ruleset);
+    violations += restart.violations;
+    mismatches += restart.mismatches;
+    std::printf("\nrestart point: %u crash/recover cycles, %llu/%u "
+                "streams recovered, %llu symbols replayed, recovery "
+                "p50 %.2f ms p99 %.2f ms\n",
+                restart.cycles,
+                static_cast<unsigned long long>(restart.recovered),
+                restart.cycles *
+                    static_cast<std::uint32_t>(traces.size()),
+                static_cast<unsigned long long>(restart.replayed),
+                restart.p50Ms, restart.p99Ms);
+
     // Reaching this line at all is the zero-crash criterion; the
     // typed-shed and report-identity criteria were hard-checked per
     // stream above.
@@ -393,6 +606,13 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(violations));
     std::fprintf(f, "  \"report_mismatches\": %llu,\n",
                  static_cast<unsigned long long>(mismatches));
+    std::fprintf(f, "  \"restart_cycles\": %u,\n", restart.cycles);
+    std::fprintf(f, "  \"recovery_p50_ms\": %.3f,\n", restart.p50Ms);
+    std::fprintf(f, "  \"recovery_p99_ms\": %.3f,\n", restart.p99Ms);
+    std::fprintf(f, "  \"recovery_replayed_symbols\": %llu,\n",
+                 static_cast<unsigned long long>(restart.replayed));
+    std::fprintf(f, "  \"recovery_recovered_sessions\": %llu,\n",
+                 static_cast<unsigned long long>(restart.recovered));
     std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const PointResult &r = rows[i];

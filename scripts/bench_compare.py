@@ -26,10 +26,11 @@ Options:
                           (created if missing)
   --allow-config-mismatch compare despite differing meta.trace_config
 
-Metric direction is inferred from the name: *_ms is lower-is-better;
-*per_sec*, *speedup*, *occupancy*, and *gain* are higher-is-better;
-anything else (densities, state counts, cycle models) is informational
-and never gated. Rows are matched by their string-valued fields plus
+Metric direction is inferred from the name: *_ms, *_crashes, *_shed,
+and *_replayed_symbols are lower-is-better; *per_sec*, *speedup*,
+*occupancy*, *gain*, *_admitted, and *_recovered_sessions are
+higher-is-better; anything else (densities, state counts, cycle
+models) is informational and never gated. Rows are matched by their string-valued fields plus
 "states"; rows present on only one side are warned about, not failed.
 
 Both files must carry the same meta.schema_version (see
@@ -57,6 +58,13 @@ def direction(name):
     # admission got worse.
     if name.endswith("_crashes") or name.endswith("_shed"):
         return "lower"
+    # Crash-recovery counters: replay work after a restart is waste
+    # bounded by the checkpoint interval, so less of it is better; a
+    # session that failed to come back after SIGKILL is lost work.
+    if name.endswith("_replayed_symbols"):
+        return "lower"
+    if name.endswith("_recovered_sessions"):
+        return "higher"
     if ("per_sec" in name or "speedup" in name or "occupancy" in name
             or name.endswith("gain") or name.endswith("_admitted")):
         return "higher"

@@ -13,7 +13,8 @@ const char *const kKindNames[kFaultKindCount] = {
     "corrupt-sv",        "evict-svc",   "drop-report",
     "truncate-report",   "drop-fiv",    "stall-worker",
     "crash-worker",      "disconnect-client", "slow-client",
-    "swap-during-stream",
+    "swap-during-stream", "torn-manifest-write",
+    "crash-at-checkpoint",
 };
 
 /** Metric suffix: spec name with '-' mapped to '_'. */
@@ -61,6 +62,8 @@ FaultInjector::FaultInjector(const FaultInjector &other)
     std::lock_guard<std::mutex> lock(*other.mutex_);
     segRngs_ = other.segRngs_;
     budgets = other.budgets;
+    manifestAppends_ = other.manifestAppends_;
+    checkpointSaves_ = other.checkpointSaves_;
     injectedByKind = other.injectedByKind;
     totalInjected = other.totalInjected;
     totalDetected = other.totalDetected;
@@ -78,6 +81,8 @@ FaultInjector::operator=(const FaultInjector &other)
     rng = other.rng;
     segRngs_ = other.segRngs_;
     budgets = other.budgets;
+    manifestAppends_ = other.manifestAppends_;
+    checkpointSaves_ = other.checkpointSaves_;
     injectedByKind = other.injectedByKind;
     totalInjected = other.totalInjected;
     totalDetected = other.totalDetected;
@@ -161,7 +166,8 @@ FaultInjector::fromSpec(const std::string &spec, std::uint64_t seed)
                 "' (want corrupt-sv, evict-svc, drop-report, "
                 "truncate-report, drop-fiv, stall-worker, "
                 "crash-worker, disconnect-client, slow-client, "
-                "swap-during-stream, or all)");
+                "swap-during-stream, torn-manifest-write, "
+                "crash-at-checkpoint, or all)");
     }
     return injector;
 }
@@ -324,6 +330,46 @@ FaultInjector::onServeChunk(std::uint64_t session, std::uint64_t chunk)
         }
     }
     return ServeFault::None;
+}
+
+bool
+FaultInjector::onManifestAppend(std::size_t record_len,
+                                std::size_t &keep_bytes)
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    const std::uint64_t ordinal = manifestAppends_++;
+    auto &b =
+        budgets[static_cast<std::size_t>(FaultKind::TornManifestWrite)];
+    if (b.remaining == 0)
+        return false;
+    const std::uint64_t h = mix64(
+        mix64(seed_ ^ 0x544Full) ^ ordinal); // 'TO'rn
+    if (b.rate < 1.0 && hashToUnit(h) >= b.rate)
+        return false;
+    --b.remaining;
+    recordInjection(FaultKind::TornManifestWrite);
+    // Keep a strict prefix — possibly zero bytes, never the whole
+    // record (that would be a clean append, not a torn one).
+    keep_bytes = record_len == 0 ? 0 : (h >> 17) % record_len;
+    return true;
+}
+
+bool
+FaultInjector::onCheckpointSave()
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    const std::uint64_t ordinal = checkpointSaves_++;
+    auto &b =
+        budgets[static_cast<std::size_t>(FaultKind::CrashAtCheckpoint)];
+    if (b.remaining == 0)
+        return false;
+    const std::uint64_t h = mix64(
+        mix64(seed_ ^ 0x434Bull) ^ ordinal); // 'CK'pt
+    if (b.rate < 1.0 && hashToUnit(h) >= b.rate)
+        return false;
+    --b.remaining;
+    recordInjection(FaultKind::CrashAtCheckpoint);
+    return true;
 }
 
 void

@@ -34,6 +34,20 @@
  *  - swap-during-stream a ruleset hot-swap lands while streams are in
  *                       flight (exercises the refcounted registry).
  *
+ * Two durability kinds model a hard crash landing in the middle of
+ * the serve layer's persistence writes (the crash-recovery path of
+ * docs/robustness.md):
+ *
+ *  - torn-manifest-write  a session-manifest journal append is torn:
+ *                         only a prefix of the record reaches disk,
+ *                         as if the process died mid-write (recovery
+ *                         must stop cleanly at the torn tail);
+ *  - crash-at-checkpoint  a periodic checkpoint save dies after the
+ *                         .tmp file is partially written but before
+ *                         the atomic rename (the previous checkpoint
+ *                         must survive; the stale .tmp must be swept
+ *                         on the next cold start).
+ *
  * Determinism model: every in-segment hardware fault (corrupt-sv,
  * evict-svc, drop-report, truncate-report) is drawn from a per-segment
  * RNG stream derived from (seed, segment) and consumed in that
@@ -93,9 +107,11 @@ enum class FaultKind : std::uint8_t
     DisconnectClient,
     SlowClient,
     SwapDuringStream,
+    TornManifestWrite,
+    CrashAtCheckpoint,
 };
 
-inline constexpr std::size_t kFaultKindCount = 10;
+inline constexpr std::size_t kFaultKindCount = 12;
 /** Kinds at or past this index target the host worker pool. */
 inline constexpr std::size_t kWorkerFaultFirst = 5;
 /** Kinds at or past this index target the serve layer. */
@@ -203,6 +219,25 @@ class FaultInjector
      */
     ServeFault onServeChunk(std::uint64_t session, std::uint64_t chunk);
 
+    /**
+     * True when this manifest-journal append should be torn: the
+     * caller writes only a seeded-random prefix of the framed record
+     * and reports the append as failed, modeling a crash mid-write.
+     * Selection is a pure hash of (seed, kind, append ordinal), so a
+     * given spec+seed tears the same appends every run; @p record_len
+     * bounds the prefix draw returned through @p keep_bytes.
+     */
+    bool onManifestAppend(std::size_t record_len,
+                          std::size_t &keep_bytes);
+
+    /**
+     * True when this checkpoint save should die mid-write: the caller
+     * leaves a partial `.tmp` file behind and skips the atomic
+     * rename, so the previous checkpoint (if any) stays intact.
+     * Selection hashes (seed, kind, save ordinal).
+     */
+    bool onCheckpointSave();
+
     // --- Bookkeeping -------------------------------------------------
 
     /** Total faults injected so far. */
@@ -277,6 +312,9 @@ class FaultInjector
     /** Per-segment hardware streams, keyed by stream coordinate. */
     std::unordered_map<std::uint64_t, Rng> segRngs_;
     std::array<Budget, kFaultKindCount> budgets{};
+    /** Append/save ordinals for the durability kinds' pure-hash draws. */
+    std::uint64_t manifestAppends_ = 0;
+    std::uint64_t checkpointSaves_ = 0;
     std::array<std::uint64_t, kFaultKindCount> injectedByKind{};
     std::uint64_t totalInjected = 0;
     std::uint64_t totalDetected = 0;

@@ -1,0 +1,491 @@
+#include "serve/manifest.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "pap/fault_injector.h"
+
+namespace pap {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'P', 'M', 'A', 'N', 'J', '\0'};
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4;
+
+/** CRC-32 (IEEE 802.3, reflected) — same polynomial as PAPCKPT. */
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** fsync the directory entry of @p path (rename durability). */
+bool
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+struct Writer
+{
+    std::vector<std::uint8_t> buf;
+
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+};
+
+struct Reader
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool fail = false;
+
+    bool
+    need(std::size_t n)
+    {
+        if (size - pos < n) {
+            fail = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (fail || !need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+/** Serialize a record's payload (everything inside the CRC frame). */
+void
+serializePayload(const ManifestRecord &rec, Writer &w)
+{
+    switch (rec.kind) {
+      case ManifestRecordKind::Admit:
+        w.u64(rec.identity);
+        w.u64(rec.generation);
+        w.str(rec.tenant);
+        w.str(rec.key);
+        break;
+      case ManifestRecordKind::CheckpointWritten:
+        w.u64(rec.symbols);
+        w.u64(rec.chunks);
+        w.str(rec.tenant);
+        w.str(rec.key);
+        break;
+      case ManifestRecordKind::Complete:
+        w.str(rec.tenant);
+        w.str(rec.key);
+        break;
+      case ManifestRecordKind::SwapGeneration:
+        w.u64(rec.generation);
+        break;
+    }
+}
+
+/** Frame a record: [kind][len][payload][crc(kind+len+payload)]. */
+std::vector<std::uint8_t>
+frameRecord(const ManifestRecord &rec)
+{
+    Writer payload;
+    serializePayload(rec, payload);
+    Writer frame;
+    frame.u8(static_cast<std::uint8_t>(rec.kind));
+    frame.u32(static_cast<std::uint32_t>(payload.buf.size()));
+    frame.buf.insert(frame.buf.end(), payload.buf.begin(),
+                     payload.buf.end());
+    frame.u32(crc32(frame.buf.data(), frame.buf.size()));
+    return std::move(frame.buf);
+}
+
+/** Parse one payload; false when malformed for its kind. */
+bool
+parsePayload(std::uint8_t kind_byte, const std::uint8_t *payload,
+             std::size_t len, ManifestRecord &rec)
+{
+    if (kind_byte < 1 || kind_byte > 4)
+        return false;
+    rec.kind = static_cast<ManifestRecordKind>(kind_byte);
+    Reader r{payload, len};
+    switch (rec.kind) {
+      case ManifestRecordKind::Admit:
+        rec.identity = r.u64();
+        rec.generation = r.u64();
+        rec.tenant = r.str();
+        rec.key = r.str();
+        break;
+      case ManifestRecordKind::CheckpointWritten:
+        rec.symbols = r.u64();
+        rec.chunks = r.u64();
+        rec.tenant = r.str();
+        rec.key = r.str();
+        break;
+      case ManifestRecordKind::Complete:
+        rec.tenant = r.str();
+        rec.key = r.str();
+        break;
+      case ManifestRecordKind::SwapGeneration:
+        rec.generation = r.u64();
+        break;
+    }
+    return !r.fail && r.pos == len;
+}
+
+} // namespace
+
+ManifestJournal::~ManifestJournal()
+{
+    close();
+}
+
+ManifestJournal::ManifestJournal(ManifestJournal &&other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_),
+      faults_(other.faults_)
+{
+    other.fd_ = -1;
+    other.faults_ = nullptr;
+}
+
+ManifestJournal &
+ManifestJournal::operator=(ManifestJournal &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    faults_ = other.faults_;
+    other.fd_ = -1;
+    other.faults_ = nullptr;
+    return *this;
+}
+
+void
+ManifestJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<ManifestJournal>
+ManifestJournal::open(const std::string &path, FaultInjector *faults)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd < 0)
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot open session manifest '", path,
+                             "' for appending");
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot stat session manifest '", path,
+                             "'");
+    }
+    if (st.st_size == 0) {
+        Writer header;
+        header.buf.insert(header.buf.end(), kMagic,
+                          kMagic + sizeof(kMagic));
+        header.u32(kManifestVersion);
+        if (::write(fd, header.buf.data(), header.buf.size()) !=
+                static_cast<ssize_t>(header.buf.size()) ||
+            ::fsync(fd) != 0 || !syncParentDir(path)) {
+            ::close(fd);
+            return Status::error(ErrorCode::InvalidInput,
+                                 "cannot initialize session manifest '",
+                                 path, "'");
+        }
+    } else if (st.st_size < static_cast<off_t>(kHeaderSize)) {
+        // Shorter than a header yet non-empty: a crash landed inside
+        // the very first write. Recovery compacts before reopening,
+        // so refuse rather than append after garbage.
+        ::close(fd);
+        return Status::error(ErrorCode::CheckpointCorrupt,
+                             "session manifest '", path,
+                             "' has a truncated header");
+    }
+    ManifestJournal journal;
+    journal.path_ = path;
+    journal.fd_ = fd;
+    journal.faults_ = faults;
+    return journal;
+}
+
+Status
+ManifestJournal::append(const ManifestRecord &record)
+{
+    if (fd_ < 0)
+        return Status::error(ErrorCode::InvalidInput,
+                             "session manifest is not open");
+    const std::vector<std::uint8_t> frame = frameRecord(record);
+    std::size_t keep = 0;
+    if (faults_ && faults_->onManifestAppend(frame.size(), keep)) {
+        // Model the crash-mid-write: a prefix of the frame reaches
+        // the disk, then "the process dies" — the record is lost and
+        // replay must stop at this torn tail.
+        if (keep > 0)
+            (void)::write(fd_, frame.data(), keep);
+        (void)::fsync(fd_);
+        return Status::error(ErrorCode::InvalidInput,
+                             "manifest append torn by fault injection");
+    }
+    if (::write(fd_, frame.data(), frame.size()) !=
+        static_cast<ssize_t>(frame.size()))
+        return Status::error(ErrorCode::InvalidInput,
+                             "short write appending to session "
+                             "manifest '",
+                             path_, "'");
+    if (::fsync(fd_) != 0)
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot fsync session manifest '", path_,
+                             "'");
+    obs::metrics().add("serve.manifest.appends");
+    return Status();
+}
+
+Result<ManifestReplay>
+replayManifest(const std::string &path)
+{
+    ManifestReplay replay;
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        return replay; // first boot: nothing to replay
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[4096];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), fp)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    std::fclose(fp);
+
+    if (bytes.size() < kHeaderSize ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return Status::error(ErrorCode::CheckpointCorrupt,
+                             "session manifest '", path,
+                             "' has a bad header");
+    Reader head{bytes.data() + sizeof(kMagic), 4};
+    if (head.u32() != kManifestVersion)
+        return Status::error(ErrorCode::CheckpointCorrupt,
+                             "session manifest '", path,
+                             "' has an unsupported version");
+
+    std::size_t pos = kHeaderSize;
+    while (pos < bytes.size()) {
+        // Frame prefix: kind + length. Anything short of a whole,
+        // CRC-valid frame is a torn tail — stop replaying, keep what
+        // we have. Appends are ordered (one fsynced write each), so
+        // nothing after a torn frame can be a record we ever
+        // acknowledged.
+        if (bytes.size() - pos < 5) {
+            replay.torn = 1;
+            break;
+        }
+        const std::uint8_t kind_byte = bytes[pos];
+        Reader len_reader{bytes.data() + pos + 1, 4};
+        const std::uint32_t len = len_reader.u32();
+        if (bytes.size() - pos < 5 + static_cast<std::size_t>(len) + 4) {
+            replay.torn = 1;
+            break;
+        }
+        const std::uint8_t *payload = bytes.data() + pos + 5;
+        Reader crc_reader{payload + len, 4};
+        const std::uint32_t stored = crc_reader.u32();
+        if (crc32(bytes.data() + pos, 5 + len) != stored) {
+            replay.torn = 1;
+            break;
+        }
+        ManifestRecord rec;
+        if (!parsePayload(kind_byte, payload, len, rec)) {
+            replay.torn = 1;
+            break;
+        }
+        pos += 5 + len + 4;
+        ++replay.records;
+
+        const auto coord = std::make_pair(rec.tenant, rec.key);
+        switch (rec.kind) {
+          case ManifestRecordKind::Admit: {
+            auto &live = replay.live[coord];
+            live.identity = rec.identity;
+            live.generation = rec.generation;
+            replay.maxGeneration =
+                std::max(replay.maxGeneration, rec.generation);
+            break;
+          }
+          case ManifestRecordKind::CheckpointWritten: {
+            const auto it = replay.live.find(coord);
+            if (it != replay.live.end()) {
+                it->second.symbols = rec.symbols;
+                it->second.chunks = rec.chunks;
+                it->second.checkpointed = true;
+            }
+            break;
+          }
+          case ManifestRecordKind::Complete:
+            if (replay.live.erase(coord) > 0)
+                ++replay.completed;
+            break;
+          case ManifestRecordKind::SwapGeneration:
+            replay.maxGeneration =
+                std::max(replay.maxGeneration, rec.generation);
+            break;
+        }
+    }
+    return replay;
+}
+
+Status
+compactManifest(const std::string &path, const ManifestReplay &replay)
+{
+    Writer file;
+    file.buf.insert(file.buf.end(), kMagic, kMagic + sizeof(kMagic));
+    file.u32(kManifestVersion);
+    // Pin the generation floor first so a later torn tail can never
+    // roll generations backwards across a double crash.
+    {
+        ManifestRecord rec;
+        rec.kind = ManifestRecordKind::SwapGeneration;
+        rec.generation = replay.maxGeneration;
+        const auto frame = frameRecord(rec);
+        file.buf.insert(file.buf.end(), frame.begin(), frame.end());
+    }
+    for (const auto &entry : replay.live) {
+        ManifestRecord admit;
+        admit.kind = ManifestRecordKind::Admit;
+        admit.identity = entry.second.identity;
+        admit.generation = entry.second.generation;
+        admit.tenant = entry.first.first;
+        admit.key = entry.first.second;
+        const auto admit_frame = frameRecord(admit);
+        file.buf.insert(file.buf.end(), admit_frame.begin(),
+                        admit_frame.end());
+        if (entry.second.checkpointed) {
+            ManifestRecord ckpt;
+            ckpt.kind = ManifestRecordKind::CheckpointWritten;
+            ckpt.symbols = entry.second.symbols;
+            ckpt.chunks = entry.second.chunks;
+            ckpt.tenant = entry.first.first;
+            ckpt.key = entry.first.second;
+            const auto ckpt_frame = frameRecord(ckpt);
+            file.buf.insert(file.buf.end(), ckpt_frame.begin(),
+                            ckpt_frame.end());
+        }
+    }
+
+    const std::string tmp = path + ".compact.tmp";
+    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
+    if (!fp)
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot open manifest temp file '", tmp,
+                             "' for writing");
+    const std::size_t written =
+        std::fwrite(file.buf.data(), 1, file.buf.size(), fp);
+    const bool flushed = std::fflush(fp) == 0;
+    const bool synced = flushed && ::fsync(::fileno(fp)) == 0;
+    std::fclose(fp);
+    if (written != file.buf.size() || !synced) {
+        std::remove(tmp.c_str());
+        return Status::error(ErrorCode::InvalidInput,
+                             "short write on manifest temp file '", tmp,
+                             "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot rename manifest into place at '",
+                             path, "'");
+    }
+    if (!syncParentDir(path))
+        return Status::error(ErrorCode::InvalidInput,
+                             "cannot fsync manifest directory of '",
+                             path, "'");
+    return Status();
+}
+
+} // namespace serve
+} // namespace pap

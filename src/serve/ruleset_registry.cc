@@ -63,6 +63,14 @@ RulesetRegistry::generation() const
     return current_ ? current_->generation : 0;
 }
 
+void
+RulesetRegistry::setNextGeneration(std::uint64_t next)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!current_ && next > nextGeneration_)
+        nextGeneration_ = next;
+}
+
 std::size_t
 RulesetRegistry::liveGenerations() const
 {

@@ -88,6 +88,16 @@ class RulesetRegistry
      */
     std::size_t liveGenerations() const;
 
+    /**
+     * Continue the generation sequence at @p next (used by cold-start
+     * recovery so generations stay monotone across daemon restarts —
+     * a checkpoint's identity must never alias a post-swap ruleset).
+     * Only meaningful before the first install; ignored once a
+     * generation has been published or when @p next would move the
+     * counter backwards.
+     */
+    void setNextGeneration(std::uint64_t next);
+
   private:
     mutable std::mutex mutex_;
     EngineKind engine_;

@@ -1,7 +1,12 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
 #include <thread>
+
+#include <dirent.h>
 
 #include "engine/functional_engine.h"
 #include "obs/metrics.h"
@@ -28,7 +33,13 @@ mixId(std::uint64_t h, std::uint64_t v)
  * Identity binding a serve checkpoint to one (ruleset, tenant, key)
  * tuple. The input is deliberately excluded — a drained stream's
  * remainder is unknown at resume time — and so is the generation
- * counter, which restarts with the daemon.
+ * counter: generations continue monotonically across restarts (see
+ * RulesetRegistry::setNextGeneration), so the *same* ruleset
+ * reinstalled after a reboot must still match, while a structurally
+ * different ruleset (e.g. the survivor of a hot swap) must not. The
+ * hash therefore digests the full automaton structure — per-state
+ * symbol classes, start type, report behavior, and edges — not just
+ * the name and state count, which two different rulesets can share.
  */
 std::uint64_t
 serveIdentity(const Nfa &nfa, const std::string &tenant,
@@ -38,6 +49,21 @@ serveIdentity(const Nfa &nfa, const std::string &tenant,
     for (const char c : nfa.name())
         h = mixId(h, static_cast<std::uint64_t>(c));
     h = mixId(h, nfa.size());
+    for (StateId q = 0; q < nfa.size(); ++q) {
+        const NfaState &st = nfa[q];
+        for (unsigned w = 0; w < 4; ++w) {
+            std::uint64_t bits = 0;
+            for (unsigned b = 0; b < 64; ++b)
+                if (st.label.test(static_cast<Symbol>(w * 64 + b)))
+                    bits |= std::uint64_t{1} << b;
+            h = mixId(h, bits);
+        }
+        h = mixId(h, static_cast<std::uint64_t>(st.start));
+        h = mixId(h, (std::uint64_t{st.reporting} << 32) |
+                         st.reportCode);
+        for (const StateId t : st.succ)
+            h = mixId(h, t);
+    }
     for (const char c : tenant)
         h = mixId(h, static_cast<std::uint64_t>(c));
     h = mixId(h, 0x1F);
@@ -129,6 +155,12 @@ struct Server::Session
     std::uint32_t chunksRecovered = 0;
     std::uint32_t consecutiveRecovered = 0;
 
+    /** Composed-chunk count at the last (periodic or resume-seeded)
+        checkpoint; the periodic trigger fires on the delta. */
+    std::uint64_t lastCkptChunk = 0;
+    /** Effective periodic cadence (0 = drain-only). */
+    std::uint64_t ckptIntervalChunks = 0;
+
     bool resumed = false;
     /** Next chunk composes from the oracle (boundary symbol unknown
         after a resume: the checkpoint does not carry it). */
@@ -150,12 +182,17 @@ Server::Server(const ServeOptions &options, const Nfa &ruleset)
     execPap_.faultInjector = nullptr;
     execOpt_ =
         makeHardenedOptions(opts_.pap, threads_, opts_.chunkSymbols);
+    // Cold-start recovery runs before the install so the replayed
+    // generation floor is in place when the boot ruleset publishes.
+    recoverColdStart(ruleset);
     auto installed = registry_.install(ruleset);
     if (!installed.ok()) {
         status_ = installed.status();
         return;
     }
     pool_ = std::make_unique<exec::WorkerPool>(threads_);
+    if (!opts_.checkpointDir.empty())
+        ckptThread_ = std::thread([this] { ckptWriterLoop(); });
     auto &m = obs::metrics();
     m.setGauge("serve.sessions.open", 0.0);
     m.setGauge("serve.queue.depth", 0.0);
@@ -166,6 +203,10 @@ Server::~Server()
     {
         std::unique_lock<std::mutex> lock(mutex_);
         draining_ = true;
+        // Destructor terminations are process teardown, not stream
+        // completion: keyed sessions must stay live in the manifest
+        // so a restart can still recover them.
+        inShutdown_ = true;
         for (auto &entry : sessions_)
             terminateLocked(*entry.second,
                             Status::error(ErrorCode::Cancelled,
@@ -174,6 +215,9 @@ Server::~Server()
     }
     if (pool_)
         pool_->drain();
+    stopCkptWriter();
+    std::lock_guard<std::mutex> lock(manifestMutex_);
+    manifest_.close();
 }
 
 Status
@@ -190,7 +234,15 @@ Server::findLocked(SessionId id) const
 }
 
 Result<SessionId>
-Server::open(const std::string &tenant, const std::string &key)
+Server::open(const std::string &tenant, const std::string &key,
+             std::int64_t checkpointInterval)
+{
+    return openImpl(tenant, key, checkpointInterval, /*journal=*/true);
+}
+
+Result<SessionId>
+Server::openImpl(const std::string &tenant, const std::string &key,
+                 std::int64_t checkpointInterval, bool journal)
 {
     if (!status_.ok())
         return status_;
@@ -212,6 +264,10 @@ Server::open(const std::string &tenant, const std::string &key)
     s->tenant = tenant;
     s->key = key;
     s->ruleset = registry_.current();
+    s->ckptIntervalChunks =
+        checkpointInterval >= 0
+            ? static_cast<std::uint64_t>(checkpointInterval)
+            : opts_.checkpointIntervalChunks;
     s->openedAt = std::chrono::steady_clock::now();
     sessions_.emplace(s->id, s);
     ++tenantSessions_[tenant];
@@ -221,6 +277,8 @@ Server::open(const std::string &tenant, const std::string &key)
     m.add("serve.sessions.admitted");
     m.setGauge("serve.sessions.open",
                static_cast<double>(counters_.openSessions));
+    if (journal)
+        journalAdmitLocked(*s);
     return s->id;
 }
 
@@ -238,12 +296,41 @@ Server::resume(const std::string &tenant, const std::string &key)
     const std::string path = opts_.checkpointDir + "/" +
                              sanitize(tenant) + "-" + sanitize(key) +
                              ".papckpt";
+    const SessionCoord coord{tenant, key};
     auto loaded = exec::loadCheckpoint(path);
-    if (!loaded.ok())
-        return loaded.status();
+    if (!loaded.ok()) {
+        // No checkpoint file (InvalidInput) or a corrupt one. When
+        // the manifest journal vouches for the session — admitted
+        // before the crash, never completed — fall back to a fresh
+        // admit at offset 0: the client re-feeds everything and the
+        // final report still equals an uninterrupted run. Otherwise
+        // surface the load error typed, as before.
+        bool known = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            known = recoveredLive_.count(coord) > 0;
+        }
+        if (!known)
+            return loaded.status();
+        if (loaded.status().code() == ErrorCode::CheckpointCorrupt)
+            std::remove(path.c_str());
+        const auto opened = openImpl(tenant, key, -1, false);
+        if (!opened.ok())
+            return opened.status();
+        std::lock_guard<std::mutex> lock(mutex_);
+        const SessionPtr s = findLocked(opened.value());
+        recoveredLive_.erase(coord);
+        ++counters_.resumed;
+        ++counters_.sessionsRecovered;
+        auto &m = obs::metrics();
+        m.add("serve.sessions.resumed");
+        m.add("serve.recovery.sessions_recovered");
+        journalAdmitLocked(*s);
+        return ResumeInfo{s->id, 0};
+    }
     const exec::CheckpointFrontier &frontier = loaded.value();
 
-    const auto opened = open(tenant, key);
+    const auto opened = openImpl(tenant, key, -1, false);
     if (!opened.ok())
         return opened.status();
     std::lock_guard<std::mutex> lock(mutex_);
@@ -251,7 +338,8 @@ Server::resume(const std::string &tenant, const std::string &key)
     if (frontier.identity !=
         serveIdentity(s->ruleset->nfa, tenant, key)) {
         // Undo the admission: the checkpoint belongs to a different
-        // ruleset or stream and must not silently start fresh.
+        // ruleset or stream and must not silently start fresh. The
+        // manifest is left untouched — openImpl did not journal.
         closeAccountingLocked(*s);
         sessions_.erase(s->id);
         --counters_.admitted;
@@ -263,6 +351,7 @@ Server::resume(const std::string &tenant, const std::string &key)
     s->resumed = true;
     s->nextChunk = frontier.nextSegment;
     s->composedChunks = frontier.nextSegment;
+    s->lastCkptChunk = frontier.nextSegment;
     s->forceOracleNext = frontier.nextSegment > 0;
     s->prevFinal = frontier.finalActive;
     s->reports = frontier.reports;
@@ -275,7 +364,13 @@ Server::resume(const std::string &tenant, const std::string &key)
     for (const exec::SegmentCheckpoint &cp : frontier.segments)
         s->resumedSymbols += cp.timing.segLen;
     ++counters_.resumed;
-    obs::metrics().add("serve.sessions.resumed");
+    auto &m = obs::metrics();
+    m.add("serve.sessions.resumed");
+    if (recoveredLive_.erase(coord) > 0) {
+        ++counters_.sessionsRecovered;
+        m.add("serve.recovery.sessions_recovered");
+    }
+    journalAdmitLocked(*s);
     return ResumeInfo{s->id, s->resumedSymbols};
 }
 
@@ -341,6 +436,14 @@ Server::terminateLocked(Session &s, Status why, const char *metric)
     updateQueueGaugeLocked();
     closeAccountingLocked(s);
     obs::metrics().add(metric);
+    // An aborted/quarantined/expired stream is terminal: journal it
+    // complete and drop its checkpoint. Drained streams stay live
+    // (resumable), and destructor teardown journals nothing — a
+    // crash must leave the manifest exactly as the journal last
+    // recorded it.
+    if (!inShutdown_ &&
+        std::strcmp(metric, "serve.sessions.drained") != 0)
+        journalCompleteLocked(s);
     windowCv_.notify_all();
     doneCv_.notify_all();
     idleCv_.notify_all();
@@ -747,6 +850,18 @@ Server::composeReady(std::unique_lock<std::mutex> &lock, SessionPtr s)
                 cp.truePaths += t;
             cp.recovered = recovered || chunk->oracle;
             s->ckptSegments.push_back(std::move(cp));
+
+            // Periodic incremental checkpoint: snapshot the frontier
+            // under the lock, hand the (possibly large) serialization
+            // and fsync to the writer thread. The compose hot path
+            // pays only the copy, so clean-run latency is unchanged,
+            // and a kill -9 replays at most ckptIntervalChunks chunks.
+            if (!s->key.empty() && s->ckptIntervalChunks > 0 &&
+                s->composedChunks - s->lastCkptChunk >=
+                    s->ckptIntervalChunks) {
+                enqueuePeriodicCheckpointLocked(*s);
+                s->lastCkptChunk = s->composedChunks;
+            }
         }
 
         windowCv_.notify_all();
@@ -804,6 +919,7 @@ Server::finalizeLocked(Session &s)
     auto &m = obs::metrics();
     m.add("serve.sessions.completed");
     m.observe("serve.session.latency_ms", msSince(s.openedAt));
+    journalCompleteLocked(s);
     doneCv_.notify_all();
     idleCv_.notify_all();
 }
@@ -1014,8 +1130,8 @@ Server::checkpointPath(const Session &s) const
            sanitize(s.key) + ".papckpt";
 }
 
-Status
-Server::checkpointLocked(Session &s)
+exec::CheckpointFrontier
+Server::buildFrontierLocked(const Session &s) const
 {
     exec::CheckpointFrontier frontier;
     frontier.identity = serveIdentity(s.ruleset->nfa, s.tenant, s.key);
@@ -1029,13 +1145,289 @@ Server::checkpointLocked(Session &s)
     frontier.segmentsRetried = s.chunksRetried;
     frontier.segmentsRecovered = s.chunksRecovered;
     frontier.segments = s.ckptSegments;
-    const Status saved =
-        exec::saveCheckpoint(checkpointPath(s), frontier);
+    return frontier;
+}
+
+Status
+Server::checkpointLocked(Session &s)
+{
+    const Status saved = exec::saveCheckpoint(checkpointPath(s),
+                                              buildFrontierLocked(s));
     if (saved.ok()) {
         ++counters_.checkpointed;
         obs::metrics().add("serve.sessions.checkpointed");
+        ManifestRecord rec;
+        rec.kind = ManifestRecordKind::CheckpointWritten;
+        rec.symbols = s.resumedSymbols + s.symbolsComposed;
+        rec.chunks = s.composedChunks;
+        rec.tenant = s.tenant;
+        rec.key = s.key;
+        appendManifest(rec);
     }
     return saved;
+}
+
+// --- Crash tolerance -------------------------------------------------
+
+void
+Server::appendManifest(const ManifestRecord &record)
+{
+    std::lock_guard<std::mutex> lock(manifestMutex_);
+    if (!manifest_.isOpen())
+        return;
+    if (!manifest_.append(record).ok())
+        obs::metrics().add("serve.manifest.append_failures");
+}
+
+void
+Server::journalAdmitLocked(const Session &s)
+{
+    if (s.key.empty() || opts_.checkpointDir.empty())
+        return;
+    ManifestRecord rec;
+    rec.kind = ManifestRecordKind::Admit;
+    rec.identity = serveIdentity(s.ruleset->nfa, s.tenant, s.key);
+    rec.generation = s.ruleset->generation;
+    rec.tenant = s.tenant;
+    rec.key = s.key;
+    appendManifest(rec);
+}
+
+void
+Server::journalCompleteLocked(const Session &s)
+{
+    if (s.key.empty() || opts_.checkpointDir.empty())
+        return;
+    CkptOp op;
+    op.kind = CkptOp::Kind::Complete;
+    op.path = checkpointPath(s);
+    op.record.kind = ManifestRecordKind::Complete;
+    op.record.tenant = s.tenant;
+    op.record.key = s.key;
+    enqueueCkptOp(std::move(op));
+}
+
+void
+Server::enqueuePeriodicCheckpointLocked(const Session &s)
+{
+    CkptOp op;
+    op.kind = CkptOp::Kind::Save;
+    op.path = checkpointPath(s);
+    op.frontier = buildFrontierLocked(s);
+    op.record.kind = ManifestRecordKind::CheckpointWritten;
+    op.record.symbols = s.resumedSymbols + s.symbolsComposed;
+    op.record.chunks = s.composedChunks;
+    op.record.tenant = s.tenant;
+    op.record.key = s.key;
+    enqueueCkptOp(std::move(op));
+}
+
+void
+Server::enqueueCkptOp(CkptOp op)
+{
+    std::lock_guard<std::mutex> lock(ckptMutex_);
+    if (!ckptThread_.joinable())
+        return; // no checkpoint dir: nothing to persist to
+    ckptOps_.push_back(std::move(op));
+    ++ckptQueued_;
+    ckptCv_.notify_all();
+}
+
+void
+Server::flushCkptOps()
+{
+    std::unique_lock<std::mutex> lock(ckptMutex_);
+    if (!ckptThread_.joinable())
+        return;
+    ckptCv_.wait(lock, [&] { return ckptDone_ == ckptQueued_; });
+}
+
+void
+Server::ckptWriterLoop()
+{
+    std::unique_lock<std::mutex> lock(ckptMutex_);
+    for (;;) {
+        ckptCv_.wait(lock,
+                     [&] { return ckptStop_ || !ckptOps_.empty(); });
+        if (ckptOps_.empty()) {
+            if (ckptStop_)
+                break;
+            continue;
+        }
+        CkptOp op = std::move(ckptOps_.front());
+        ckptOps_.pop_front();
+        lock.unlock();
+
+        auto &m = obs::metrics();
+        if (op.kind == CkptOp::Kind::Save) {
+            FaultInjector *const inj = opts_.pap.faultInjector;
+            if (inj && inj->onCheckpointSave()) {
+                // Injected crash-at-checkpoint: the process "dies"
+                // after a partial temp write — the previous
+                // checkpoint file survives untouched and the stale
+                // .tmp is left for the next boot's sweep.
+                const std::string tmp = op.path + ".tmp";
+                if (std::FILE *fp = std::fopen(tmp.c_str(), "wb")) {
+                    std::fwrite("PAPCKPT\0torn", 1, 12, fp);
+                    std::fclose(fp);
+                }
+            } else if (exec::saveCheckpoint(op.path, op.frontier)
+                           .ok()) {
+                {
+                    std::lock_guard<std::mutex> counters(mutex_);
+                    ++counters_.periodicCheckpoints;
+                }
+                m.add("serve.checkpoints.periodic");
+                appendManifest(op.record);
+            } else {
+                m.add("serve.checkpoints.failed");
+            }
+        } else {
+            // Complete record first, then the file: a crash between
+            // the two leaves a stale checkpoint of a completed
+            // session, which the next boot's sweep removes.
+            appendManifest(op.record);
+            exec::removeCheckpoint(op.path);
+        }
+
+        lock.lock();
+        ++ckptDone_;
+        ckptCv_.notify_all();
+    }
+}
+
+void
+Server::stopCkptWriter()
+{
+    {
+        std::lock_guard<std::mutex> lock(ckptMutex_);
+        ckptStop_ = true;
+        ckptCv_.notify_all();
+    }
+    if (ckptThread_.joinable())
+        ckptThread_.join();
+}
+
+void
+Server::recoverColdStart(const Nfa &ruleset)
+{
+    if (opts_.checkpointDir.empty())
+        return;
+    auto &m = obs::metrics();
+
+    // (1) Sweep temp files a crash left mid-write: half-written
+    // checkpoints ("<name>.papckpt.tmp") and half-compacted
+    // manifests. They were never published by a rename, so deleting
+    // them can only reclaim garbage.
+    std::vector<std::string> entries;
+    if (DIR *dir = ::opendir(opts_.checkpointDir.c_str())) {
+        while (const dirent *ent = ::readdir(dir))
+            entries.emplace_back(ent->d_name);
+        ::closedir(dir);
+    }
+    const auto hasSuffix = [](const std::string &name,
+                              const char *suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    for (const std::string &name : entries) {
+        if (!hasSuffix(name, ".tmp"))
+            continue;
+        std::remove((opts_.checkpointDir + "/" + name).c_str());
+        ++counters_.staleTmpCleaned;
+        m.add("serve.recovery.stale_tmp_cleaned");
+    }
+
+    // (2) Replay the manifest journal into the live-session set.
+    const std::string mpath =
+        opts_.checkpointDir + "/" + kManifestFileName;
+    ManifestReplay replay;
+    bool journalReadable = true;
+    bool hadManifest = false;
+    {
+        auto replayed = replayManifest(mpath);
+        if (replayed.ok()) {
+            replay = std::move(replayed.value());
+            hadManifest = replay.records > 0 || replay.torn > 0;
+        } else {
+            // Unreadable header: count it as torn and start fresh —
+            // a bad journal must never block the daemon from booting.
+            journalReadable = false;
+            replay.torn = 1;
+            std::remove(mpath.c_str());
+        }
+    }
+    counters_.journalRecords = replay.records;
+    counters_.journalTorn = replay.torn;
+    m.add("serve.recovery.journal_records", replay.records);
+    if (replay.torn > 0)
+        m.add("serve.recovery.journal_torn", replay.torn);
+
+    // (3) Verify each live session's checkpoint against the boot
+    // ruleset. A corrupt file is removed (the session falls back to
+    // a fresh re-feed); an identity mismatch is kept on disk so
+    // resume() can reject it typed.
+    std::set<std::string> liveFiles;
+    for (const auto &entry : replay.live) {
+        const std::string file = sanitize(entry.first.first) + "-" +
+                                 sanitize(entry.first.second) +
+                                 ".papckpt";
+        liveFiles.insert(file);
+        const std::string path = opts_.checkpointDir + "/" + file;
+        auto loaded = exec::loadCheckpoint(path);
+        bool resumable = true;
+        if (loaded.ok()) {
+            // An identity mismatch (different ruleset) is the one
+            // non-resumable case; it stays on disk for the typed
+            // rejection.
+            resumable = loaded.value().identity ==
+                        serveIdentity(ruleset, entry.first.first,
+                                      entry.first.second);
+        } else if (loaded.status().code() ==
+                   ErrorCode::CheckpointCorrupt) {
+            // Corrupt file: remove it; the session re-feeds fresh.
+            std::remove(path.c_str());
+        } // else: no checkpoint yet — fresh re-feed, still resumable.
+        if (resumable) {
+            ++counters_.sessionsResumable;
+            m.add("serve.recovery.sessions_resumable");
+        }
+    }
+
+    // (4) Checkpoints of sessions the journal does not consider live
+    // are stale (completed before the crash, or the Complete landed
+    // but the file removal did not). Only a readable journal may
+    // authorize deletions — with none, directory contents are kept.
+    if (journalReadable && hadManifest) {
+        for (const std::string &name : entries) {
+            if (!hasSuffix(name, ".papckpt") || liveFiles.count(name))
+                continue;
+            std::remove((opts_.checkpointDir + "/" + name).c_str());
+            ++counters_.staleCheckpointsRemoved;
+            m.add("serve.recovery.stale_checkpoints_removed");
+        }
+    }
+
+    // (5) Generations must stay monotone across restarts so a
+    // checkpoint written under a swapped-out ruleset can never alias
+    // a later install (the identity hash deliberately excludes the
+    // counter; the structure hash does the discriminating).
+    if (replay.maxGeneration > 0)
+        registry_.setNextGeneration(replay.maxGeneration + 1);
+
+    // (6) Compact the journal (bounds growth across restarts) and
+    // reopen it for appending.
+    if (journalReadable)
+        (void)compactManifest(mpath, replay);
+    {
+        std::lock_guard<std::mutex> lock(manifestMutex_);
+        auto opened =
+            ManifestJournal::open(mpath, opts_.pap.faultInjector);
+        if (opened.ok())
+            manifest_ = std::move(opened.value());
+    }
+    recoveredLive_ = std::move(replay.live);
 }
 
 Status
@@ -1067,6 +1459,12 @@ Server::drain()
         }
         return true;
     });
+    // Settle the checkpoint writer before the final saves: a periodic
+    // save still queued carries an older frontier and must not land
+    // after (and thereby overwrite) the full drain checkpoint.
+    lock.unlock();
+    flushCkptOps();
+    lock.lock();
     Status worst;
     for (auto &entry : sessions_) {
         Session &s = *entry.second;
@@ -1095,6 +1493,10 @@ Server::drain()
         }
     }
     drained_ = true;
+    lock.unlock();
+    // Settle the writer thread so every periodic save and journal
+    // append queued before the drain is durable when we return.
+    flushCkptOps();
     return worst;
 }
 

@@ -35,6 +35,15 @@
  *    every in-flight session, and checkpoints unfinished streams with
  *    the PAPCKPT machinery so resume() can continue them after a
  *    restart (the caller re-feeds from the returned offset).
+ *  - Hard-crash tolerance: keyed sessions checkpoint *periodically*
+ *    (every checkpointIntervalChunks composed chunks, written off the
+ *    hot path by a dedicated writer thread), and every lifecycle
+ *    event is journaled to an append-only session manifest in
+ *    checkpointDir. After a kill -9 the next boot replays the
+ *    manifest, sweeps stale temp files, re-binds resumable sessions,
+ *    and resume() continues each stream from its last durable
+ *    checkpoint — replay is bounded by the checkpoint interval and
+ *    the final reports are byte-identical to an uninterrupted run.
  *
  * Scheduling: chunk tasks from all sessions share one WorkerPool,
  * ordered by a weighted deficit-round-robin queue across tenants.
@@ -51,10 +60,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ap/ap_config.h"
@@ -67,7 +79,9 @@
 #include "pap/flow_plan.h"
 #include "pap/options.h"
 #include "pap/segment_sim.h"
+#include "pap/exec/checkpoint.h"
 #include "serve/fair_queue.h"
+#include "serve/manifest.h"
 #include "serve/ruleset_registry.h"
 
 namespace pap {
@@ -97,6 +111,9 @@ struct ServeOptions
     double sessionDeadlineMs = 0.0;
     /** Directory for drain checkpoints; empty disables checkpointing. */
     std::string checkpointDir;
+    /** Checkpoint a keyed session every N composed chunks (0 = only
+        on drain). Sessions may override per-OPEN. */
+    std::uint32_t checkpointIntervalChunks = 0;
     /** Modeled AP board (SVC capacity bounds flows per chunk). */
     ApConfig ap;
     /** Engine, TDM, retry, deadline, and fault-injection knobs. */
@@ -133,6 +150,16 @@ struct ServerStats
     std::uint64_t aborted = 0;
     std::uint64_t resumed = 0;
     std::uint64_t checkpointed = 0;
+    /** Periodic (interval-triggered) checkpoint saves. */
+    std::uint64_t periodicCheckpoints = 0;
+    /** Cold-start recovery census (fixed after the constructor except
+        sessionsRecovered, which counts successful post-crash resumes). */
+    std::uint64_t staleTmpCleaned = 0;
+    std::uint64_t staleCheckpointsRemoved = 0;
+    std::uint64_t journalRecords = 0;
+    std::uint64_t journalTorn = 0;
+    std::uint64_t sessionsResumable = 0;
+    std::uint64_t sessionsRecovered = 0;
     std::uint64_t chunksExecuted = 0;
     std::uint64_t chunksRecovered = 0;
     std::size_t openSessions = 0;
@@ -170,18 +197,24 @@ class Server
 
     /**
      * Admit a new stream for @p tenant, bound to the current ruleset
-     * generation. @p key names the stream for drain checkpoints
-     * (empty: not checkpointable). Sheds with ResourceExhausted at
-     * the global or tenant cap, or while draining.
+     * generation. @p key names the stream for checkpoints (empty: not
+     * checkpointable). @p checkpointInterval overrides the server's
+     * periodic checkpoint cadence for this session (-1: server
+     * default; 0: drain-only). Sheds with ResourceExhausted at the
+     * global or tenant cap, or while draining.
      */
     Result<SessionId> open(const std::string &tenant,
-                           const std::string &key = std::string());
+                           const std::string &key = std::string(),
+                           std::int64_t checkpointInterval = -1);
 
     /**
-     * Reopen a stream checkpointed by a previous drain() from
-     * checkpointDir. The caller must re-feed the input from
-     * ResumeInfo::offset; reports for the composed prefix are already
-     * in the checkpoint and reappear in the final SessionReport.
+     * Reopen a stream checkpointed by a previous drain() — or by the
+     * periodic checkpointer before a hard crash — from checkpointDir.
+     * The caller must re-feed the input from ResumeInfo::offset;
+     * reports for the composed prefix are already in the checkpoint
+     * and reappear in the final SessionReport. A session the manifest
+     * journal knows but that crashed before its first checkpoint (or
+     * whose checkpoint file is corrupt) resumes fresh at offset 0.
      */
     Result<ResumeInfo> resume(const std::string &tenant,
                               const std::string &key);
@@ -255,8 +288,26 @@ class Server
     struct Chunk;
     struct Session;
     using SessionPtr = std::shared_ptr<Session>;
+    using SessionCoord = std::pair<std::string, std::string>;
+
+    /** One unit of work for the off-hot-path checkpoint writer. */
+    struct CkptOp
+    {
+        enum class Kind : std::uint8_t { Save, Complete };
+        Kind kind = Kind::Save;
+        /** Checkpoint file path (save target / removal target). */
+        std::string path;
+        /** Frontier snapshot to persist (Save only). */
+        exec::CheckpointFrontier frontier;
+        /** Manifest record appended once the file operation lands. */
+        ManifestRecord record;
+    };
 
     SessionPtr findLocked(SessionId id) const;
+    Result<SessionId> openImpl(const std::string &tenant,
+                               const std::string &key,
+                               std::int64_t checkpointInterval,
+                               bool journal);
     Status sessionGateLocked(const Session &s) const;
     void checkDeadlineLocked(Session &s);
     void terminateLocked(Session &s, Status why, const char *metric);
@@ -273,8 +324,27 @@ class Server
     void finalizeLocked(Session &s);
     SessionReport buildReportLocked(Session &s);
     std::string checkpointPath(const Session &s) const;
+    exec::CheckpointFrontier buildFrontierLocked(const Session &s) const;
     Status checkpointLocked(Session &s);
     void drainPendingSwap();
+
+    // --- Crash tolerance (manifest journal + periodic checkpoints) --
+    /** Cold-start recovery: sweep temp files, replay the manifest,
+        verify live checkpoints against @p ruleset, compact. */
+    void recoverColdStart(const Nfa &ruleset);
+    /** Serialized, fsynced journal append; failures are tolerated. */
+    void appendManifest(const ManifestRecord &record);
+    /** Journal the Admit record for a freshly opened keyed session. */
+    void journalAdmitLocked(const Session &s);
+    /** Journal Complete + remove the checkpoint file (writer thread). */
+    void journalCompleteLocked(const Session &s);
+    /** Queue a periodic checkpoint of @p s for the writer thread. */
+    void enqueuePeriodicCheckpointLocked(const Session &s);
+    void enqueueCkptOp(CkptOp op);
+    /** Block until every queued writer op has been processed. */
+    void flushCkptOps();
+    void ckptWriterLoop();
+    void stopCkptWriter();
 
     const ServeOptions opts_;
     /** pap knobs with hardware fault injection stripped: serve chunks
@@ -301,8 +371,29 @@ class Server
     SessionId nextSession_ = 1;
     bool draining_ = false;
     bool drained_ = false;
+    /** True while the destructor tears sessions down: terminations are
+        process exit, not stream completion, so they must NOT journal
+        Complete — a crashed-without-drain server leaves its keyed
+        sessions live in the manifest for the next boot to recover. */
+    bool inShutdown_ = false;
     /** An injected swap-during-stream fault waiting to be applied. */
     bool pendingSelfSwap_ = false;
+
+    /** Session manifest journal (open iff checkpointDir is set). */
+    ManifestJournal manifest_;
+    std::mutex manifestMutex_;
+    /** Live sessions the boot-time manifest replay promised; resume()
+        falls back to a fresh admit for entries with no checkpoint. */
+    std::map<SessionCoord, ManifestReplay::LiveSession> recoveredLive_;
+
+    /** Off-hot-path checkpoint writer (periodic saves + journaling). */
+    std::thread ckptThread_;
+    std::mutex ckptMutex_;
+    std::condition_variable ckptCv_;
+    std::deque<CkptOp> ckptOps_;
+    std::uint64_t ckptQueued_ = 0;
+    std::uint64_t ckptDone_ = 0;
+    bool ckptStop_ = false;
 
     // Counters mirrored into obs::metrics() as they change.
     ServerStats counters_;

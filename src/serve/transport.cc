@@ -182,6 +182,9 @@ handleLine(Server &server, Conn &c, const std::string &line)
     } else if (verb == "OPEN") {
         std::string tenant, key;
         is >> tenant >> key;
+        std::int64_t interval = -1;
+        if (!(is >> interval))
+            interval = -1; // absent token: use the server default
         if (tenant.empty()) {
             sayError(c, Status::error(ErrorCode::InvalidInput,
                                       "OPEN needs a tenant"));
@@ -193,7 +196,8 @@ handleLine(Server &server, Conn &c, const std::string &line)
                             "connection already carries a session"));
             return;
         }
-        const Result<SessionId> opened = server.open(tenant, key);
+        const Result<SessionId> opened =
+            server.open(tenant, key, interval);
         if (!opened.ok()) {
             sayError(c, opened.status());
             return;
@@ -303,6 +307,13 @@ handleLine(Server &server, Conn &c, const std::string &line)
            << " checkpointed=" << s.checkpointed
            << " chunks=" << s.chunksExecuted
            << " recovered=" << s.chunksRecovered
+           << " periodic_ckpts=" << s.periodicCheckpoints
+           << " stale_tmp_cleaned=" << s.staleTmpCleaned
+           << " stale_ckpts_removed=" << s.staleCheckpointsRemoved
+           << " journal_records=" << s.journalRecords
+           << " journal_torn=" << s.journalTorn
+           << " resumable=" << s.sessionsResumable
+           << " recovered_sessions=" << s.sessionsRecovered
            << " queue=" << s.queueDepth
            << " generation=" << s.generation
            << " live=" << s.liveGenerations
@@ -648,7 +659,8 @@ struct ClientStream
 
 Result<ClientStream>
 helloDaemon(const std::string &socket_path, const std::string &tenant,
-            const std::string &key, bool resume)
+            const std::string &key, bool resume,
+            std::int64_t checkpointInterval)
 {
     const Result<int> connected = connectDaemon(socket_path);
     if (!connected.ok())
@@ -659,6 +671,8 @@ helloDaemon(const std::string &socket_path, const std::string &tenant,
     std::string hello = resume ? "RESUME " + tenant + " " + key
                                : "OPEN " + tenant +
                                      (key.empty() ? "" : " " + key);
+    if (!resume && !key.empty() && checkpointInterval >= 0)
+        hello += " " + std::to_string(checkpointInterval);
     hello += '\n';
     Status st = writeAll(stream.fd, hello.data(), hello.size());
     std::string line;
@@ -765,10 +779,12 @@ finishStream(ClientStream &stream)
 Result<StreamResult>
 streamToDaemon(const std::string &socket_path,
                const std::string &tenant, const std::string &key,
-               const std::vector<Symbol> &data, bool resume)
+               const std::vector<Symbol> &data, bool resume,
+               std::int64_t checkpointInterval)
 {
     Result<ClientStream> hello =
-        helloDaemon(socket_path, tenant, key, resume);
+        helloDaemon(socket_path, tenant, key, resume,
+                    checkpointInterval);
     if (!hello.ok())
         return hello.status();
     ClientStream &stream = hello.value();
@@ -797,10 +813,12 @@ streamToDaemon(const std::string &socket_path,
 Result<StreamResult>
 streamFdToDaemon(const std::string &socket_path,
                  const std::string &tenant, const std::string &key,
-                 int input_fd, bool resume)
+                 int input_fd, bool resume,
+                 std::int64_t checkpointInterval)
 {
     Result<ClientStream> hello =
-        helloDaemon(socket_path, tenant, key, resume);
+        helloDaemon(socket_path, tenant, key, resume,
+                    checkpointInterval);
     if (!hello.ok())
         return hello.status();
     ClientStream &stream = hello.value();

@@ -9,7 +9,7 @@
  *
  *   client -> daemon                daemon -> client
  *   ----------------                ----------------
- *   OPEN <tenant> [key]             OK <session-id>
+ *   OPEN <tenant> [key [interval]]  OK <session-id>
  *   RESUME <tenant> <key>           OK <session-id> <offset>
  *   DATA <nbytes>\n<raw bytes>      (nothing; errors arrive typed on
  *                                    the next response boundary)
@@ -83,7 +83,8 @@ Result<StreamResult> streamToDaemon(const std::string &socket_path,
                                     const std::string &tenant,
                                     const std::string &key,
                                     const std::vector<Symbol> &data,
-                                    bool resume);
+                                    bool resume,
+                                    std::int64_t checkpointInterval = -1);
 
 /**
  * Like streamToDaemon, but read the input incrementally from file
@@ -95,7 +96,8 @@ Result<StreamResult> streamToDaemon(const std::string &socket_path,
 Result<StreamResult> streamFdToDaemon(const std::string &socket_path,
                                       const std::string &tenant,
                                       const std::string &key,
-                                      int input_fd, bool resume);
+                                      int input_fd, bool resume,
+                                      std::int64_t checkpointInterval = -1);
 
 /**
  * Send one control line (PING/STATS/DRAIN/SWAP/WEIGHT) and return the

@@ -12,8 +12,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.h"
@@ -22,6 +24,7 @@
 #include "pap/fault_injector.h"
 #include "pap/runner.h"
 #include "serve/fair_queue.h"
+#include "serve/manifest.h"
 #include "serve/server.h"
 #include "workload_helpers.h"
 
@@ -612,6 +615,351 @@ TEST(Serve, ResumeWithoutCheckpointDirIsTyped)
     const auto resumed = server.resume("t", "k");
     ASSERT_FALSE(resumed.ok());
     EXPECT_EQ(resumed.status().code(), ErrorCode::InvalidInput);
+}
+
+// ---------------------------------------------------------------------
+// Hard-crash tolerance: manifest journal, periodic checkpoints, and
+// cold-start recovery. "Crash" below means destroying the Server
+// without drain() — the destructor journals nothing, exactly like a
+// kill -9 from the manifest's point of view.
+
+/** Fresh per-test checkpoint directory (wiped of prior-run state). */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    EXPECT_EQ(0, std::system(("rm -rf " + dir).c_str()));
+    EXPECT_EQ(0, std::system(("mkdir -p " + dir).c_str()));
+    return dir;
+}
+
+TEST(Manifest, RoundTripReplayAndCompaction)
+{
+    const std::string dir = freshDir("serve_manifest1");
+    const std::string path = dir + "/" + kManifestFileName;
+
+    {
+        auto journal = ManifestJournal::open(path);
+        ASSERT_TRUE(journal.ok()) << journal.status().toString();
+        ManifestRecord admit;
+        admit.kind = ManifestRecordKind::Admit;
+        admit.identity = 0xABCDu;
+        admit.generation = 3;
+        admit.tenant = "t";
+        admit.key = "k";
+        ASSERT_TRUE(journal.value().append(admit).ok());
+        ManifestRecord ckpt;
+        ckpt.kind = ManifestRecordKind::CheckpointWritten;
+        ckpt.symbols = 4096;
+        ckpt.chunks = 8;
+        ckpt.tenant = "t";
+        ckpt.key = "k";
+        ASSERT_TRUE(journal.value().append(ckpt).ok());
+        ManifestRecord admit2 = admit;
+        admit2.key = "done";
+        ASSERT_TRUE(journal.value().append(admit2).ok());
+        ManifestRecord complete;
+        complete.kind = ManifestRecordKind::Complete;
+        complete.tenant = "t";
+        complete.key = "done";
+        ASSERT_TRUE(journal.value().append(complete).ok());
+        journal.value().close();
+    }
+
+    auto replay = replayManifest(path);
+    ASSERT_TRUE(replay.ok()) << replay.status().toString();
+    EXPECT_EQ(replay.value().records, 4u);
+    EXPECT_EQ(replay.value().torn, 0u);
+    EXPECT_EQ(replay.value().completed, 1u);
+    EXPECT_EQ(replay.value().maxGeneration, 3u);
+    ASSERT_EQ(replay.value().live.size(), 1u);
+    const auto &live = replay.value().live.at({"t", "k"});
+    EXPECT_EQ(live.identity, 0xABCDu);
+    EXPECT_EQ(live.symbols, 4096u);
+    EXPECT_TRUE(live.checkpointed);
+
+    // Compaction reproduces the same live set from fewer records.
+    ASSERT_TRUE(compactManifest(path, replay.value()).ok());
+    auto compacted = replayManifest(path);
+    ASSERT_TRUE(compacted.ok());
+    ASSERT_EQ(compacted.value().live.size(), 1u);
+    const auto &kept = compacted.value().live.at({"t", "k"});
+    EXPECT_EQ(kept.identity, live.identity);
+    EXPECT_EQ(kept.symbols, live.symbols);
+    EXPECT_EQ(kept.chunks, live.chunks);
+    EXPECT_TRUE(kept.checkpointed);
+    EXPECT_EQ(compacted.value().maxGeneration, 3u);
+    EXPECT_EQ(compacted.value().completed, 0u);
+}
+
+TEST(Manifest, TornTailStopsReplayAtLastGoodRecord)
+{
+    const std::string dir = freshDir("serve_manifest2");
+    const std::string path = dir + "/" + kManifestFileName;
+    {
+        auto journal = ManifestJournal::open(path);
+        ASSERT_TRUE(journal.ok());
+        ManifestRecord admit;
+        admit.kind = ManifestRecordKind::Admit;
+        admit.tenant = "t";
+        admit.key = "k";
+        ASSERT_TRUE(journal.value().append(admit).ok());
+        journal.value().close();
+    }
+    // A crash mid-append leaves a partial frame at the tail; replay
+    // must surface the good prefix and flag the tear, not misparse.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const unsigned char torn[3] = {2, 0x40, 0x13};
+        ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+        std::fclose(f);
+    }
+    auto replay = replayManifest(path);
+    ASSERT_TRUE(replay.ok()) << replay.status().toString();
+    EXPECT_EQ(replay.value().records, 1u);
+    EXPECT_EQ(replay.value().torn, 1u);
+    EXPECT_EQ(replay.value().live.count({"t", "k"}), 1u);
+}
+
+TEST(Serve, PeriodicCheckpointCrashResumeRoundTrip)
+{
+    const Nfa nfa = serveRuleset();
+    const InputTrace trace = serveTrace(10000, 83);
+    const auto expected = sequentialReports(nfa, trace);
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash1");
+    opt.checkpointIntervalChunks = 1;
+    {
+        Server server(opt, nfa);
+        const auto id = server.open("t", "pk");
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE(server.feed(id.value(), trace.ptr(0), 6000).ok());
+        // The writer runs off the hot path; wait for one durable save.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (server.stats().periodicCheckpoints == 0 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_GT(server.stats().periodicCheckpoints, 0u);
+        // Crash: no drain, no journaled completion.
+    }
+    Server server(opt, nfa);
+    EXPECT_EQ(server.stats().sessionsResumable, 1u);
+    const auto resumed = server.resume("t", "pk");
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    const std::uint64_t offset = resumed.value().offset;
+    EXPECT_GT(offset, 0u) << "a periodic checkpoint must bound replay";
+    EXPECT_LE(offset, 6000u);
+    ASSERT_TRUE(server
+                    .feed(resumed.value().id, trace.ptr(offset),
+                          trace.size() - offset)
+                    .ok());
+    const auto report = server.finish(resumed.value().id);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_EQ(report.value().reports, expected)
+        << "recovered stream must equal the unbroken run";
+    EXPECT_EQ(report.value().resumedSymbols, offset);
+    EXPECT_EQ(server.stats().sessionsRecovered, 1u);
+}
+
+TEST(Serve, CrashBeforeFirstCheckpointResumesFresh)
+{
+    const Nfa nfa = serveRuleset();
+    const InputTrace trace = serveTrace(4000, 89);
+    const auto expected = sequentialReports(nfa, trace);
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash2");
+    // No periodic interval: the crash lands before any checkpoint,
+    // so only the manifest's Admit record knows the session.
+    {
+        Server server(opt, nfa);
+        const auto id = server.open("t", "fresh");
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE(server.feed(id.value(), trace.ptr(0), 2000).ok());
+    }
+    Server server(opt, nfa);
+    EXPECT_EQ(server.stats().sessionsResumable, 1u);
+    const auto resumed = server.resume("t", "fresh");
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    EXPECT_EQ(resumed.value().offset, 0u)
+        << "no checkpoint -> replay from the start";
+    ASSERT_TRUE(server
+                    .feed(resumed.value().id, trace.ptr(0),
+                          trace.size())
+                    .ok());
+    const auto report = server.finish(resumed.value().id);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_EQ(report.value().reports, expected);
+    EXPECT_EQ(server.stats().sessionsRecovered, 1u);
+}
+
+TEST(Serve, TornManifestTailToleratedOnBoot)
+{
+    const Nfa nfa = serveRuleset();
+    const InputTrace trace = serveTrace(10000, 97);
+    const auto expected = sequentialReports(nfa, trace);
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash3");
+    {
+        Server server(opt, nfa);
+        const auto id = server.open("t", "tk");
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE(server.feed(id.value(), trace.ptr(0), 6000).ok());
+        ASSERT_TRUE(server.drain().ok());
+    }
+    // Tear the journal tail, as a crash mid-append would.
+    {
+        const std::string mpath =
+            opt.checkpointDir + "/" + kManifestFileName;
+        std::FILE *f = std::fopen(mpath.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const unsigned char torn[5] = {1, 0xFF, 0x00, 0x00, 0x00};
+        ASSERT_EQ(std::fwrite(torn, 1, sizeof(torn), f), sizeof(torn));
+        std::fclose(f);
+    }
+    Server server(opt, nfa);
+    EXPECT_EQ(server.stats().journalTorn, 1u);
+    const auto resumed = server.resume("t", "tk");
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    EXPECT_EQ(resumed.value().offset, 6000u);
+    ASSERT_TRUE(server
+                    .feed(resumed.value().id, trace.ptr(6000),
+                          trace.size() - 6000)
+                    .ok());
+    const auto report = server.finish(resumed.value().id);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().reports, expected);
+}
+
+TEST(Serve, TornManifestWriteFaultDegradesGracefully)
+{
+    const Nfa nfa = serveRuleset();
+    const InputTrace trace = serveTrace(4000, 101);
+    const auto expected = sequentialReports(nfa, trace);
+    auto made = FaultInjector::fromSpec("torn-manifest-write:1:1.0", 5);
+    ASSERT_TRUE(made.ok()) << made.status().toString();
+    FaultInjector injector = std::move(made.value());
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash4");
+    opt.pap.faultInjector = &injector;
+
+    Server server(opt, nfa);
+    const auto id = server.open("t", "torn");
+    ASSERT_TRUE(id.ok()) << "a lost journal append must not shed the "
+                            "session";
+    ASSERT_TRUE(
+        server.feed(id.value(), trace.ptr(0), trace.size()).ok());
+    const auto report = server.finish(id.value());
+    ASSERT_TRUE(report.ok()) << report.status().toString();
+    EXPECT_EQ(report.value().reports, expected);
+    EXPECT_GE(injector.injected(FaultKind::TornManifestWrite), 1u);
+}
+
+TEST(Serve, CrashAtCheckpointFaultLeavesRecoverableState)
+{
+    const Nfa nfa = serveRuleset();
+    const InputTrace trace = serveTrace(10000, 103);
+    const auto expected = sequentialReports(nfa, trace);
+    auto made = FaultInjector::fromSpec("crash-at-checkpoint:1:1.0", 7);
+    ASSERT_TRUE(made.ok());
+    FaultInjector injector = std::move(made.value());
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash5");
+    // One periodic trigger only (11 chunks fed, interval 8), so the
+    // injected crash tears the sole checkpoint write.
+    opt.checkpointIntervalChunks = 8;
+    opt.pap.faultInjector = &injector;
+    const std::string tmp_path =
+        opt.checkpointDir + "/t-ck.papckpt.tmp";
+    {
+        Server server(opt, nfa);
+        const auto id = server.open("t", "ck");
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE(server.feed(id.value(), trace.ptr(0), 6000).ok());
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10);
+        while (injector.injected(FaultKind::CrashAtCheckpoint) == 0 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ASSERT_GE(injector.injected(FaultKind::CrashAtCheckpoint), 1u);
+        // Crash with the torn temp file on disk.
+    }
+    EXPECT_EQ(::access(tmp_path.c_str(), F_OK), 0)
+        << "the injected crash must leave its torn .tmp behind";
+    ServeOptions clean = opt;
+    clean.pap.faultInjector = nullptr;
+    Server server(clean, nfa);
+    EXPECT_EQ(server.stats().staleTmpCleaned, 1u);
+    EXPECT_NE(::access(tmp_path.c_str(), F_OK), 0);
+    // No durable checkpoint made it: recovery re-admits fresh.
+    const auto resumed = server.resume("t", "ck");
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    EXPECT_EQ(resumed.value().offset, 0u);
+    ASSERT_TRUE(server
+                    .feed(resumed.value().id, trace.ptr(0),
+                          trace.size())
+                    .ok());
+    const auto report = server.finish(resumed.value().id);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().reports, expected);
+}
+
+TEST(Serve, StaleTmpFilesSweptOnBoot)
+{
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash6");
+    const std::string junk = opt.checkpointDir + "/junk.papckpt.tmp";
+    {
+        std::FILE *f = std::fopen(junk.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("half-written checkpoint", f);
+        std::fclose(f);
+    }
+    Server server(opt, serveRuleset());
+    EXPECT_EQ(server.stats().staleTmpCleaned, 1u);
+    EXPECT_NE(::access(junk.c_str(), F_OK), 0);
+}
+
+TEST(Serve, ResumeRejectsCheckpointFromSwappedGeneration)
+{
+    const Nfa original = serveRuleset();
+    const Nfa swapped = otherRuleset();
+    const InputTrace trace = serveTrace(4000, 107);
+    ServeOptions opt = smallOptions();
+    opt.checkpointDir = freshDir("serve_crash7");
+    {
+        Server server(opt, original);
+        const auto gen = server.swap(swapped);
+        ASSERT_TRUE(gen.ok()) << gen.status().toString();
+        // The keyed session binds the post-swap generation; its drain
+        // checkpoint is a `swapped`-ruleset frontier.
+        const auto id = server.open("t", "sw");
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE(server.feed(id.value(), trace.ptr(0), 2000).ok());
+        ASSERT_TRUE(server.drain().ok());
+    }
+    // A restart serving the pre-swap ruleset must refuse the foreign
+    // checkpoint typed instead of composing on the wrong automaton.
+    {
+        Server server(opt, original);
+        const auto resumed = server.resume("t", "sw");
+        ASSERT_FALSE(resumed.ok());
+        EXPECT_EQ(resumed.status().code(), ErrorCode::InvalidInput);
+        EXPECT_EQ(server.stats().openSessions, 0u);
+    }
+    // Booted with the ruleset the checkpoint was written under, the
+    // same file resumes cleanly.
+    Server server(opt, swapped);
+    const auto resumed = server.resume("t", "sw");
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    EXPECT_EQ(resumed.value().offset, 2000u);
+    ASSERT_TRUE(server
+                    .feed(resumed.value().id, trace.ptr(2000),
+                          trace.size() - 2000)
+                    .ok());
+    const auto report = server.finish(resumed.value().id);
+    ASSERT_TRUE(report.ok()) << report.status().toString();
 }
 
 } // namespace

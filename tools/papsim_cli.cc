@@ -113,14 +113,20 @@ usage()
         "           [--max-sessions=N] [--tenant-cap=N] [--window=N]\n"
         "           [--chunk=N] [--lookback=N] [--quarantine-after=N]\n"
         "           [--session-deadline-ms=X] [--checkpoint-dir=DIR]\n"
+        "           [--checkpoint-interval=N]\n"
         "           [--engine=sparse|dense|auto] [--deadline-ms=X]\n"
         "           [--max-retries=N] [--inject-faults=SPEC]\n"
         "           [--fault-seed=N] [--metrics-json=PATH]\n"
         "           serve-mode SPEC adds the stream fault kinds\n"
         "           disconnect-client slow-client swap-during-stream\n"
+        "           and the durability kinds torn-manifest-write\n"
+        "           crash-at-checkpoint\n"
         "  stream   <socket> <tenant> <trace.bin|-> [--key=K]\n"
-        "           [--resume] [--max-reports=N]\n"
-        "           '-' streams stdin incrementally as it arrives\n"
+        "           [--resume] [--checkpoint-interval=N]\n"
+        "           [--max-reports=N]\n"
+        "           '-' streams stdin incrementally as it arrives;\n"
+        "           --checkpoint-interval overrides the daemon's\n"
+        "           periodic-checkpoint cadence for this stream\n"
         "  ctl      <socket> ping|stats|drain|swap <nfa>|\n"
         "           weight <tenant> <w>\n");
     return 2;
@@ -758,6 +764,10 @@ cmdServe(const std::vector<std::string> &args)
         return fail("--session-deadline-ms needs a number, got '" + v +
                     "'");
     pathFlag(args, "--checkpoint-dir", &opt.checkpointDir);
+    if (flagValue(args, "--checkpoint-interval", &v) &&
+        !parseU32(v, &opt.checkpointIntervalChunks))
+        return fail("--checkpoint-interval needs an integer, got '" +
+                    v + "'");
     if (flagValue(args, "--engine", &v)) {
         const Result<EngineKind> parsed = parseEngineKind(v);
         if (!parsed.ok())
@@ -830,18 +840,29 @@ cmdStream(const std::vector<std::string> &args)
     if (flagValue(args, "--max-reports", &v) &&
         !parseU64(v, &max_reports))
         return fail("--max-reports needs an integer, got '" + v + "'");
+    std::int64_t ckpt_interval = -1;
+    if (flagValue(args, "--checkpoint-interval", &v)) {
+        std::uint64_t n = 0;
+        if (!parseU64(v, &n))
+            return fail("--checkpoint-interval needs an integer, "
+                        "got '" + v + "'");
+        if (key.empty())
+            return fail("--checkpoint-interval needs --key=K to name "
+                        "the stream");
+        ckpt_interval = static_cast<std::int64_t>(n);
+    }
 
     Result<serve::StreamResult> streamed = [&] {
         if (from_stdin)
             // Forward stdin as it arrives, so a slow producer
             // exercises the daemon's backpressure in real time.
             return serve::streamFdToDaemon(args[0], args[1], key, 0,
-                                           resume);
+                                           resume, ckpt_interval);
         const InputTrace trace = InputTrace::fromFile(args[2]);
         const std::vector<Symbol> data(trace.begin(),
                                        trace.begin() + trace.size());
         return serve::streamToDaemon(args[0], args[1], key, data,
-                                     resume);
+                                     resume, ckpt_interval);
     }();
     if (!streamed.ok())
         return fail(streamed.status().toString());
