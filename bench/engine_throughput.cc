@@ -1,16 +1,18 @@
 /**
  * @file
- * Host-side throughput of the two EngineBackend implementations:
- * symbols/sec for the sparse FunctionalEngine vs the dense
- * BitsetEngine across state counts and active densities. Emits
+ * Host-side throughput of the EngineBackend implementations:
+ * symbols/sec for the sparse FunctionalEngine, the dense BitsetEngine,
+ * and the tile-skipping HybridEngine across state counts and active
+ * densities, plus the backend --engine=auto would pick per row. Emits
  * BENCH_engine.json (path overridable as argv[1]) so the numbers seed
  * the repo's perf trajectory.
  *
  * Expected shape: the dense backend wins where successor rows span few
  * words and many states are active (every step is a handful of word
- * ORs); the sparse backend wins on large automata with a tiny active
- * fraction, where touching whole rows wastes bandwidth. That crossover
- * is what kDenseAutoMaxStates encodes for --engine=auto.
+ * ORs); the hybrid backend holds that advantage into the 16K+ state,
+ * low-density regime — the old cliff where full-row scans wasted
+ * bandwidth and auto had to fall back to sparse. The bytes/symbol
+ * columns make that cliff visible independent of host speed.
  */
 
 #include <algorithm>
@@ -25,7 +27,10 @@
 #include "engine/bitset_engine.h"
 #include "engine/compiled_nfa.h"
 #include "engine/dense_nfa.h"
+#include "engine/engine_backend.h"
 #include "engine/functional_engine.h"
+#include "engine/hybrid_engine.h"
+#include "engine/simd.h"
 #include "engine/trace.h"
 #include "nfa/nfa.h"
 
@@ -110,8 +115,16 @@ measure(EngineBackend &engine, const std::vector<StateId> &seed,
 {
     using clock = std::chrono::steady_clock;
     const double budget_sec = std::getenv("PAP_QUICK") ? 0.05 : 0.25;
+    // Step in small chunks and re-check the clock between them: a
+    // whole trace pass at 64K states on the full-row backend costs
+    // seconds, which a per-pass budget check would multiply by the
+    // window count.
+    constexpr std::size_t kChunk = 256;
+    const std::size_t len = trace.size();
     engine.reset(seed, 0);
-    engine.run(trace.begin(), trace.size()); // warm-up, reach steady state
+    // Warm-up to steady-state density (reached within tens of symbols
+    // for these self-looping machines).
+    engine.run(trace.begin(), std::min<std::size_t>(len, 1024));
     engine.takeReports();
 
     const std::uint64_t enables_before = engine.counters().enables;
@@ -123,14 +136,17 @@ measure(EngineBackend &engine, const std::vector<StateId> &seed,
     // usable on loaded hosts.
     constexpr int kWindows = 3;
     double best_per_sec = 0.0;
+    std::size_t pos = 0;
     for (int w = 0; w < kWindows; ++w) {
         std::uint64_t symbols = 0;
         const auto t0 = clock::now();
         double elapsed = 0.0;
         do {
-            engine.run(trace.begin(), trace.size());
+            const std::size_t n = std::min(kChunk, len - pos);
+            engine.run(trace.begin() + pos, n);
             engine.takeReports();
-            symbols += trace.size();
+            symbols += n;
+            pos = (pos + n) % len;
             elapsed =
                 std::chrono::duration<double>(clock::now() - t0).count();
         } while (elapsed < budget_sec / kWindows);
@@ -163,8 +179,12 @@ struct Row
     double density;
     double sparse;
     double dense;
+    double hybrid;
+    const char *autoBackend; // what --engine=auto resolves to here
+    double autoSym;          // that backend's measured throughput
     double sparseBps; // sparse bytes touched per symbol
     double denseBps;  // dense bytes touched per symbol
+    double hybridBps; // hybrid bytes touched per symbol
 };
 
 } // namespace
@@ -175,13 +195,14 @@ main(int argc, char **argv)
 {
     using namespace pap;
     bench::ObsSession obs("engine_throughput");
-    bench::printHeader("Engine throughput: sparse vs dense backend",
+    bench::printHeader("Engine throughput: sparse vs dense vs hybrid",
                        "Section 2.1 enable&match datapath, host model");
 
     const char *out_path =
         argc > 1 ? argv[1] : "BENCH_engine.json";
     const std::size_t trace_len =
         std::getenv("PAP_QUICK") ? (16u << 10) : (64u << 10);
+    const SimdLevel simd = currentSimdLevel();
 
     struct Config
     {
@@ -200,16 +221,19 @@ main(int argc, char **argv)
         {1024, 7, 0, 1, "high-density"},
         {4096, 7, 0, 1, "high-density"},
         {16384, 7, 0, 1, "high-density"},
+        {65536, 7, 0, 1, "high-density"},
         {1024, 1, 64, 64, "low-density"},
         {4096, 1, 64, 64, "low-density"},
         {16384, 1, 64, 64, "low-density"},
+        {65536, 1, 64, 64, "low-density"},
     };
 
     std::vector<Row> rows;
-    std::printf("%8s  %-12s  %8s  %14s  %14s  %8s  %10s  %10s\n",
+    std::printf("%8s  %-12s  %8s  %12s  %12s  %12s  %8s  %10s  "
+                "%10s  %10s  %10s\n",
                 "states", "workload", "density", "sparse sym/s",
-                "dense sym/s", "dense/sp", "sparse B/sym",
-                "dense B/sym");
+                "dense sym/s", "hybrid sym/s", "auto", "auto/sp",
+                "sparse B/s", "dense B/s", "hybrid B/s");
     for (const Config &cfg : configs) {
         Rng rng(0xe47 + cfg.states + cfg.octiles);
         const Nfa nfa = syntheticNfa(cfg.states, cfg.octiles,
@@ -222,32 +246,52 @@ main(int argc, char **argv)
 
         EngineScratch scratch(nfa.size());
         FunctionalEngine sparse(cnfa, /*starts=*/false, &scratch);
-        BitsetEngine dense(dnfa, /*starts=*/false);
+        BitsetEngine dense(dnfa, /*starts=*/false, simd);
+        HybridEngine hybrid(dnfa, /*starts=*/false, simd);
         const Measurement ms =
             measure(sparse, seed, trace, cfg.states);
         const Measurement md = measure(dense, seed, trace, cfg.states);
+        const Measurement mh = measure(hybrid, seed, trace, cfg.states);
+
+        // The choice --engine=auto would make once the baseline has
+        // measured this row's density.
+        EngineKind auto_kind = EngineKind::Hybrid;
+        if (const Result<EngineKind> rk = resolveEngineKind(
+                EngineKind::Auto, cfg.states, ms.activeDensity);
+            rk.ok())
+            auto_kind = rk.value();
+        const double auto_sym = auto_kind == EngineKind::Dense
+                                    ? md.symbolsPerSec
+                                : auto_kind == EngineKind::Hybrid
+                                    ? mh.symbolsPerSec
+                                    : ms.symbolsPerSec;
 
         rows.push_back(Row{cfg.states, cfg.workload, ms.activeDensity,
                            ms.symbolsPerSec, md.symbolsPerSec,
-                           ms.bytesPerSymbol, md.bytesPerSymbol});
-        std::printf("%8zu  %-12s  %7.1f%%  %14.3e  %14.3e  %7.2fx  "
-                    "%12.0f  %11.0f\n",
+                           mh.symbolsPerSec, engineKindName(auto_kind),
+                           auto_sym, ms.bytesPerSymbol,
+                           md.bytesPerSymbol, mh.bytesPerSymbol});
+        std::printf("%8zu  %-12s  %7.1f%%  %12.3e  %12.3e  %12.3e  "
+                    "%8s  %7.2fx  %10.0f  %10.0f  %10.0f\n",
                     cfg.states, cfg.workload, 100.0 * ms.activeDensity,
                     ms.symbolsPerSec, md.symbolsPerSec,
-                    md.symbolsPerSec / ms.symbolsPerSec,
-                    ms.bytesPerSymbol, md.bytesPerSymbol);
+                    mh.symbolsPerSec, engineKindName(auto_kind),
+                    auto_sym / ms.symbolsPerSec, ms.bytesPerSymbol,
+                    md.bytesPerSymbol, mh.bytesPerSymbol);
     }
 
     // The crossover the auto threshold encodes: largest state count
-    // where the dense backend still wins on the high-density workload.
+    // where the full-row dense backend still wins on the high-density
+    // workload.
     std::size_t dense_wins_up_to = 0;
     for (const Row &r : rows)
         if (std::string(r.workload) == "high-density" &&
             r.dense > r.sparse && r.states > dense_wins_up_to)
             dense_wins_up_to = r.states;
     std::printf("\ndense backend wins high-density workloads up to "
-                "%zu states (auto threshold: %zu)\n",
-                dense_wins_up_to, kDenseAutoMaxStates);
+                "%zu states (auto threshold: %zu); simd: %s\n",
+                dense_wins_up_to, kDenseAutoMaxStates,
+                simdLevelName(simd));
 
     std::FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -257,8 +301,11 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n");
     bench::writeMetaHeader(f, "engine_throughput");
     std::fprintf(f, "  \"trace_symbols\": %zu,\n", trace_len);
+    std::fprintf(f, "  \"simd\": \"%s\",\n", simdLevelName(simd));
     std::fprintf(f, "  \"auto_threshold_states\": %zu,\n",
                  kDenseAutoMaxStates);
+    std::fprintf(f, "  \"auto_min_density\": %.3f,\n",
+                 kDenseAutoMinDensity);
     std::fprintf(f, "  \"dense_wins_up_to_states\": %zu,\n",
                  dense_wins_up_to);
     std::fprintf(f, "  \"rows\": [\n");
@@ -269,11 +316,18 @@ main(int argc, char **argv)
                      "\"active_density\": %.4f, "
                      "\"sparse_symbols_per_sec\": %.1f, "
                      "\"dense_symbols_per_sec\": %.1f, "
+                     "\"hybrid_symbols_per_sec\": %.1f, "
                      "\"dense_speedup\": %.3f, "
+                     "\"hybrid_speedup\": %.3f, "
+                     "\"auto_backend\": \"%s\", "
+                     "\"auto_speedup\": %.3f, "
                      "\"sparse_bytes_per_symbol\": %.1f, "
-                     "\"dense_bytes_per_symbol\": %.1f}%s\n",
+                     "\"dense_bytes_per_symbol\": %.1f, "
+                     "\"hybrid_bytes_per_symbol\": %.1f}%s\n",
                      r.states, r.workload, r.density, r.sparse, r.dense,
-                     r.dense / r.sparse, r.sparseBps, r.denseBps,
+                     r.hybrid, r.dense / r.sparse, r.hybrid / r.sparse,
+                     r.autoBackend, r.autoSym / r.sparse, r.sparseBps,
+                     r.denseBps, r.hybridBps,
                      i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

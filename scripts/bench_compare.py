@@ -63,6 +63,11 @@ def direction(name):
     # session that failed to come back after SIGKILL is lost work.
     if name.endswith("_replayed_symbols"):
         return "lower"
+    # Datapath traffic (BENCH_engine.json): bytes the enable&match
+    # kernels touch per input symbol — the cache-blocked tile layout
+    # exists to shrink this, so growth is a regression.
+    if name.endswith("_bytes_per_symbol"):
+        return "lower"
     if name.endswith("_recovered_sessions"):
         return "higher"
     if ("per_sec" in name or "speedup" in name or "occupancy" in name
@@ -74,9 +79,12 @@ def direction(name):
 def is_relative(name):
     """True for unitless ratio metrics, comparable across machines."""
     # Crash counts are absolute but machine-independent (the soak
-    # criterion is zero everywhere), so CI gates them too.
+    # criterion is zero everywhere), so CI gates them too. So are the
+    # modeled bytes-per-symbol counters: deterministic functions of
+    # the automaton and trace, not of the host.
     return ("speedup" in name or "occupancy" in name
-            or name.endswith("gain") or name.endswith("_crashes"))
+            or name.endswith("gain") or name.endswith("_crashes")
+            or name.endswith("_bytes_per_symbol"))
 
 
 def is_number(v):

@@ -4,28 +4,30 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "engine/hybrid_engine.h"
 
 namespace pap {
 
-BitsetEngine::BitsetEngine(const DenseNfa &dense, bool starts_enabled)
-    : dnfa(dense), startsEnabled(starts_enabled),
-      active(dense.words(), 0), next(dense.words(), 0)
+BitsetEngine::BitsetEngine(const DenseNfa &dense, bool starts_enabled,
+                           SimdLevel simd)
+    : dnfa(dense), startsEnabled(starts_enabled), level(simd),
+      ops(simdOps(simd)), active(dense.words(), 0),
+      next(dense.words(), 0), matched(dense.words(), 0)
 {
 }
 
 void
 BitsetEngine::seedWords(const std::vector<StateId> &states)
 {
-    std::fill(active.begin(), active.end(), 0);
+    ops.clearWords(active.data(), active.size());
     for (const StateId q : states) {
         PAP_ASSERT(q < dnfa.size(), "seed state ", q, " out of range");
         if (startsEnabled && dnfa.compiled().isAllInputStart(q))
             continue;
         active[q >> 6] |= std::uint64_t{1} << (q & 63);
     }
-    activeBits = 0;
-    for (const std::uint64_t w : active)
-        activeBits += static_cast<std::size_t>(std::popcount(w));
+    activeBits = static_cast<std::size_t>(
+        ops.popcountWords(active.data(), active.size()));
 }
 
 void
@@ -51,16 +53,16 @@ BitsetEngine::step(Symbol s)
     const std::uint64_t *m = dnfa.matchMask(s);
     const std::uint64_t *rep = dnfa.reportMask();
     const CompiledNfa &cnfa = dnfa.compiled();
-    std::fill(next.begin(), next.end(), 0);
+    ops.clearWords(next.data(), words);
+    ops.andWords(matched.data(), active.data(), m, words);
     std::uint64_t rows = 0;
+    std::uint64_t tile_words = 0;
     for (std::size_t w = 0; w < words; ++w) {
-        std::uint64_t matched = active[w] & m[w];
-        if (!matched)
+        std::uint64_t hits = matched[w];
+        if (!hits)
             continue;
-        rows += static_cast<std::uint64_t>(std::popcount(matched));
-        stats.matches +=
-            static_cast<std::uint64_t>(std::popcount(matched));
-        std::uint64_t matchedReporting = matched & rep[w];
+        rows += static_cast<std::uint64_t>(std::popcount(hits));
+        std::uint64_t matchedReporting = hits & rep[w];
         while (matchedReporting) {
             const StateId q = static_cast<StateId>(
                 w * 64 + static_cast<std::size_t>(
@@ -69,43 +71,48 @@ BitsetEngine::step(Symbol s)
                 ReportEvent{offsetCursor, q, cnfa.reportCode(q)});
             matchedReporting &= matchedReporting - 1;
         }
-        while (matched) {
+        while (hits) {
             const StateId q = static_cast<StateId>(
                 w * 64 +
-                static_cast<std::size_t>(std::countr_zero(matched)));
-            const std::uint64_t *row = dnfa.succRow(q);
-            for (std::size_t w2 = 0; w2 < words; ++w2)
-                next[w2] |= row[w2];
-            matched &= matched - 1;
+                static_cast<std::size_t>(std::countr_zero(hits)));
+            const DenseNfa::TileRow tr = dnfa.succTiles(q);
+            for (std::size_t i = 0; i < tr.count; ++i)
+                ops.orTile(next.data() +
+                               static_cast<std::size_t>(tr.index[i]) *
+                                   kSuccTileWords,
+                           tr.data + i * kSuccTileWords);
+            tile_words += tr.count * kSuccTileWords;
+            hits &= hits - 1;
         }
     }
+    stats.matches += rows;
     if (startsEnabled) {
         // AllInput starts never sit in the enable vector (the start
         // machinery carries them); drop any routed in by successor
-        // rows, then fold in this symbol's precomputed start enables.
-        const std::uint64_t *ai = dnfa.allInputMask();
-        const std::uint64_t *se = dnfa.startEnableMask(s);
-        for (std::size_t w = 0; w < words; ++w)
-            next[w] = (next[w] & ~ai[w]) | se[w];
+        // tiles, then fold in this symbol's precomputed start enables.
+        ops.andNotOrWords(next.data(), dnfa.allInputMask(),
+                          dnfa.startEnableMask(s), words);
         stats.matches += cnfa.startMatchCount(s);
         for (const auto &sr : cnfa.startReports(s))
             events.push_back(ReportEvent{offsetCursor, sr.state,
                                          sr.code});
     }
     active.swap(next);
-    activeBits = 0;
-    for (const std::uint64_t w : active)
-        activeBits += static_cast<std::size_t>(std::popcount(w));
+    activeBits = static_cast<std::size_t>(
+        ops.popcountWords(active.data(), words));
     stats.enables += activeBits;
-    // Datapath cost: the active&mask AND plus the next-vector clear
-    // touch the whole vector every step regardless of density, and
-    // every matched state pulls in its full `words`-wide successor
-    // row — the traffic that outgrows the cache on large automata.
+    // Datapath cost: the active&mask AND and the next-vector clear
+    // touch the whole (padded) vector every step regardless of
+    // density, each matched state pulls in only its non-zero
+    // successor tiles plus their CSR metadata, and the start fold
+    // reads two more mask vectors. This is the traffic that used to
+    // be 8*words per matched state with the flat successor matrix.
     stats.succRows += rows;
     stats.maskWords += words;
-    stats.bytesTouched +=
-        8ull * words *
-        (2 + rows + (startsEnabled ? 2u : 0u));
+    stats.bytesTouched += 8ull * (3 * words + tile_words) +
+                          4ull * (2 * rows + tile_words /
+                                                 kSuccTileWords) +
+                          (startsEnabled ? 16ull * words : 0);
     ++stats.densityOctiles[densityOctile(activeBits, dnfa.size())];
     ++stats.symbols;
     ++offsetCursor;
@@ -160,6 +167,11 @@ BitsetEngine::sameActiveSet(const EngineBackend &other) const
     if (const auto *peer = dynamic_cast<const BitsetEngine *>(&other)) {
         if (peer->active.size() == active.size())
             return peer->active == active;
+    }
+    if (const auto *peer =
+            dynamic_cast<const HybridEngine *>(&other)) {
+        if (peer->activeWords().size() == active.size())
+            return peer->activeWords() == active;
     }
     if (other.activeCount() != activeBits)
         return false;

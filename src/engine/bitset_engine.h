@@ -3,10 +3,15 @@
  * Dense bit-parallel NFA interpreter: one execution context whose
  * active set is a word-packed state vector over a DenseNfa. Each step
  * is the AP datapath in software — AND the active vector with the
- * per-symbol match mask, OR the matched states' successor rows into
+ * per-symbol match mask, OR the matched states' successor tiles into
  * the next enable vector, then fold in the precomputed AllInput-start
- * enables. Implements the EngineBackend equivalence contract exactly
- * (see engine_backend.h), so it is interchangeable with the sparse
+ * enables. The bulk word operations dispatch through the SimdOps
+ * table selected at construction (scalar / AVX2 / AVX-512; see
+ * simd.h), and successor rows arrive as compressed cache tiles, so
+ * per-step traffic tracks edge count instead of the flat states x
+ * words matrix that used to blow the cache at 16K states. Implements
+ * the EngineBackend equivalence contract exactly (see
+ * engine_backend.h), so it is interchangeable with the sparse
  * FunctionalEngine in every PAP layer.
  */
 
@@ -18,6 +23,7 @@
 
 #include "engine/dense_nfa.h"
 #include "engine/engine_backend.h"
+#include "engine/simd.h"
 
 namespace pap {
 
@@ -31,8 +37,12 @@ class BitsetEngine final : public EngineBackend
      *        StartOfData states seed the first cycle and AllInput
      *        starts contribute every cycle; when false the engine runs
      *        only explicitly seeded activity (enumeration-flow mode).
+     * @param simd kernel table to dispatch the word operations to;
+     *        defaults to the PAP_SIMD/CPUID resolution. Every level
+     *        produces bit-identical results.
      */
-    BitsetEngine(const DenseNfa &dnfa, bool starts_enabled);
+    explicit BitsetEngine(const DenseNfa &dnfa, bool starts_enabled,
+                          SimdLevel simd = currentSimdLevel());
 
     void reset(const std::vector<StateId> &initial_active,
                std::uint64_t offset_base = 0) override;
@@ -55,6 +65,9 @@ class BitsetEngine final : public EngineBackend
     /** The dense automaton this engine runs. */
     const DenseNfa &automaton() const { return dnfa; }
 
+    /** Kernel level the word operations dispatch to. */
+    SimdLevel simdLevel() const { return level; }
+
     /** Raw words of the active state vector (for word-compares). */
     const std::vector<std::uint64_t> &activeWords() const
     {
@@ -67,8 +80,11 @@ class BitsetEngine final : public EngineBackend
 
     const DenseNfa &dnfa;
     const bool startsEnabled;
+    const SimdLevel level;
+    const SimdOps &ops;
     std::vector<std::uint64_t> active;
     std::vector<std::uint64_t> next;
+    std::vector<std::uint64_t> matched; // active & match scratch
     std::size_t activeBits = 0;
     std::uint64_t offsetCursor = 0;
     std::vector<ReportEvent> events;

@@ -13,28 +13,49 @@ setBit(std::uint64_t *words, std::size_t pos)
     words[pos >> 6] |= std::uint64_t{1} << (pos & 63);
 }
 
+/** Round @p words up to a whole number of successor tiles. */
+inline std::size_t
+padToTiles(std::size_t words)
+{
+    return (words + kSuccTileWords - 1) / kSuccTileWords *
+           kSuccTileWords;
+}
+
 } // namespace
 
 DenseNfa::DenseNfa(const CompiledNfa &compiled)
     : cnfa(compiled), numStates(compiled.size()),
-      numWords((compiled.size() + 63) / 64)
+      numWords(padToTiles((compiled.size() + 63) / 64))
 {
     match.assign(kAlphabetSize * numWords, 0);
-    succ.assign(numStates * numWords, 0);
     reporting.assign(numWords, 0);
     allInput.assign(numWords, 0);
     startEnable.assign(kAlphabetSize * numWords, 0);
 
+    // Flat-row scratch reused per state while compressing each
+    // successor row to its non-zero tiles.
+    std::vector<std::uint64_t> row(numWords);
+    rowTileOffset.assign(numStates + 1, 0);
     for (StateId q = 0; q < numStates; ++q) {
         for (const Symbol s : cnfa.label(q).toSymbols())
             setBit(match.data() +
                        static_cast<std::size_t>(s) * numWords,
                    q);
-        std::uint64_t *row =
-            succ.data() + static_cast<std::size_t>(q) * numWords;
+        std::fill(row.begin(), row.end(), 0);
         const auto [begin, end] = cnfa.successors(q);
         for (const StateId *t = begin; t != end; ++t)
-            setBit(row, *t);
+            setBit(row.data(), *t);
+        for (std::size_t tile = 0; tile < tiles(); ++tile) {
+            const std::uint64_t *w =
+                row.data() + tile * kSuccTileWords;
+            if (!(w[0] | w[1] | w[2] | w[3]))
+                continue;
+            rowTileIndex.push_back(static_cast<std::uint32_t>(tile));
+            rowTileData.insert(rowTileData.end(), w,
+                               w + kSuccTileWords);
+        }
+        rowTileOffset[q + 1] =
+            static_cast<std::uint32_t>(rowTileIndex.size());
         if (cnfa.reporting(q))
             setBit(reporting.data(), q);
         if (cnfa.isAllInputStart(q))
@@ -46,6 +67,12 @@ DenseNfa::DenseNfa(const CompiledNfa &compiled)
         for (const StateId t :
              cnfa.startEnables(static_cast<Symbol>(s)))
             setBit(enable, t);
+        for (std::size_t tile = 0; tile < tiles(); ++tile) {
+            const std::uint64_t *w = enable + tile * kSuccTileWords;
+            if (w[0] | w[1] | w[2] | w[3])
+                startTiles[s].push_back(
+                    static_cast<std::uint32_t>(tile));
+        }
     }
 
     // Per-symbol ranges: union the successor rows of the matching
@@ -60,9 +87,17 @@ DenseNfa::DenseNfa(const CompiledNfa &compiled)
                 const StateId q = static_cast<StateId>(
                     w * 64 +
                     static_cast<std::size_t>(std::countr_zero(word)));
-                const std::uint64_t *row = succRow(q);
-                for (std::size_t w2 = 0; w2 < numWords; ++w2)
-                    scratch[w2] |= row[w2];
+                const TileRow tr = succTiles(q);
+                for (std::size_t i = 0; i < tr.count; ++i) {
+                    std::uint64_t *dst =
+                        scratch.data() + static_cast<std::size_t>(
+                                             tr.index[i]) *
+                                             kSuccTileWords;
+                    const std::uint64_t *src =
+                        tr.data + i * kSuccTileWords;
+                    for (std::size_t w2 = 0; w2 < kSuccTileWords; ++w2)
+                        dst[w2] |= src[w2];
+                }
                 word &= word - 1;
             }
         }
@@ -76,9 +111,14 @@ DenseNfa::DenseNfa(const CompiledNfa &compiled)
 std::size_t
 DenseNfa::byteSize() const
 {
-    return (match.size() + succ.size() + reporting.size() +
-            allInput.size() + startEnable.size()) *
-           sizeof(std::uint64_t);
+    std::size_t start_tiles = 0;
+    for (const auto &v : startTiles)
+        start_tiles += v.size();
+    return (match.size() + reporting.size() + allInput.size() +
+            startEnable.size() + rowTileData.size()) *
+               sizeof(std::uint64_t) +
+           (rowTileOffset.size() + rowTileIndex.size() + start_tiles) *
+               sizeof(std::uint32_t);
 }
 
 } // namespace pap

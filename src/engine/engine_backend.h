@@ -3,12 +3,14 @@
  * The execution-backend abstraction of the engine layer. An
  * EngineBackend is one AP execution context (one flow) over one
  * automaton: it owns an active-state set, consumes symbols, and
- * produces report events. Two implementations exist — the sparse
- * FunctionalEngine (active states as an id list) and the dense
+ * produces report events. Three implementations exist — the sparse
+ * FunctionalEngine (active states as an id list), the dense
  * BitsetEngine (active states as a word-packed bit vector, mirroring
- * the AP's enable&match datapath) — and every PAP layer above works
- * against this interface, so future backends (SIMD, GPU, multi-byte
- * stride) drop in behind it.
+ * the AP's enable&match datapath), and the HybridEngine (word-packed
+ * vectors with activity-proportional tile skipping and per-state
+ * scatter/tile routing) — and every PAP layer above works against
+ * this interface, so future backends (GPU, multi-byte stride) drop in
+ * behind it.
  *
  * Equivalence contract (what makes backends interchangeable):
  *  - snapshot() returns the active set sorted ascending;
@@ -29,12 +31,14 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/error.h"
 #include "common/types.h"
 #include "engine/report.h"
+#include "engine/simd.h"
 
 namespace pap {
 
@@ -162,38 +166,57 @@ enum class EngineKind : std::uint8_t
     Sparse,
     /** Word-packed state vectors (BitsetEngine over a DenseNfa). */
     Dense,
+    /** Word-packed vectors with tile skipping and scatter routing
+     *  (HybridEngine over the same DenseNfa). */
+    Hybrid,
     /**
-     * Consult the PAP_ENGINE environment variable (sparse|dense|auto),
-     * then pick dense below the state-count threshold where whole-row
-     * word operations are cheap, sparse otherwise.
+     * Consult the PAP_ENGINE environment variable (sparse|dense|
+     * hybrid|auto), then pick per the size/density heuristic of
+     * resolveEngineKind: dense for small automata that run hot,
+     * hybrid everywhere else.
      */
     Auto,
 };
 
 /**
- * Auto picks the dense backend for automata of at most this many
- * states (64 words per state vector): below it, one successor-row OR
- * touches at most 64 words, so the bit-parallel step wins whenever a
- * handful of states are active. Larger automata typically run with a
- * tiny active density, where the sparse backend stays faster.
+ * Auto picks the pure dense backend only for automata of at most this
+ * many states (64 words per state vector): below it the whole-vector
+ * AND/clear is cache-resident and beats any bookkeeping. Above it the
+ * hybrid backend takes over — its per-step traffic scales with the
+ * active set instead of the state count, which is what removes the
+ * former 16K-state cliff.
  */
 inline constexpr std::size_t kDenseAutoMaxStates = 4096;
 
-/** Parse "sparse" / "dense" / "auto"; typed InvalidInput otherwise. */
+/**
+ * Even below kDenseAutoMaxStates, a workload whose measured active
+ * density (enables per symbol per state) sits under this fraction
+ * leaves most of the dense datapath's whole-vector work wasted; Auto
+ * routes such runs to the hybrid backend instead. Callers without a
+ * measurement pass density < 0, which keeps the dense choice.
+ */
+inline constexpr double kDenseAutoMinDensity = 0.25;
+
+/** Parse "sparse"/"dense"/"hybrid"/"auto"; typed InvalidInput else. */
 Result<EngineKind> parseEngineKind(std::string_view text);
 
-/** Stable name of @p kind ("sparse", "dense", "auto"). */
+/** Stable name of @p kind ("sparse", "dense", "hybrid", "auto"). */
 const char *engineKindName(EngineKind kind);
 
 /**
  * Resolve @p requested to a concrete backend for an automaton of
  * @p states states. Auto consults PAP_ENGINE — an invalid value is a
  * typed InvalidInput error, exactly like an invalid --engine flag —
- * then applies the kDenseAutoMaxStates threshold. A successful result
- * is never Auto.
+ * then applies the size/density heuristic: Dense iff the automaton
+ * fits kDenseAutoMaxStates AND @p active_density is unknown (< 0) or
+ * at least kDenseAutoMinDensity; Hybrid otherwise. Auto never
+ * resolves to Sparse — the sparse backend remains the explicit
+ * reference, not a performance choice. A successful result is never
+ * Auto.
  */
 Result<EngineKind> resolveEngineKind(EngineKind requested,
-                                     std::size_t states);
+                                     std::size_t states,
+                                     double active_density = -1.0);
 
 /**
  * Backend selection plus the shared immutable per-automaton data the
@@ -205,35 +228,56 @@ class EngineContext
   public:
     /**
      * Select the backend for @p cnfa per @p requested (resolved via
-     * resolveEngineKind) and precompute the DenseNfa when the dense
-     * backend was picked. @p cnfa must outlive the context. When
-     * resolution fails (an invalid PAP_ENGINE value), the context
-     * stays usable on the sparse reference backend and status()
-     * carries the typed error for the run driver to surface.
+     * resolveEngineKind with @p density_hint, a measured active
+     * density or -1 when unknown) and precompute the DenseNfa when a
+     * word-packed backend was picked. Also resolves the SIMD dispatch
+     * level (PAP_SIMD / CPUID probe). @p cnfa must outlive the
+     * context. When resolution fails (an invalid PAP_ENGINE or
+     * PAP_SIMD value), the context stays usable on the sparse
+     * reference backend at the scalar level and status() carries the
+     * typed error for the run driver to surface.
      */
     explicit EngineContext(const CompiledNfa &cnfa,
-                           EngineKind requested = EngineKind::Sparse);
+                           EngineKind requested = EngineKind::Sparse,
+                           double density_hint = -1.0);
 
-    /** OK, or the typed resolution error (invalid PAP_ENGINE). */
+    /** OK, or the typed resolution error (invalid PAP_ENGINE/_SIMD). */
     const Status &status() const { return status_; }
 
     /**
      * Create one execution context. @p scratch is the shared dedup
-     * scratch of the sparse backend (ignored by the dense one); when
-     * null a sparse engine owns a private scratch.
+     * scratch of the sparse backend (ignored by the word-packed ones);
+     * when null a sparse engine owns a private scratch.
+     *
+     * When the selection heuristic (not an explicit request) picked
+     * the dense backend, enumeration flows — @p starts_enabled false,
+     * i.e. narrow seeded activity with the start machinery off — get a
+     * hybrid engine over the same DenseNfa instead: their active sets
+     * are tiny by construction, exactly the regime the hybrid datapath
+     * wins. The equivalence contract makes the per-flow mix
+     * observationally invisible.
      */
     std::unique_ptr<EngineBackend>
     make(bool starts_enabled, EngineScratch *scratch = nullptr) const;
 
-    /** True when the dense (bit-parallel) backend was selected. */
-    bool dense() const { return dnfa != nullptr; }
+    /** Selected backend (never Auto). */
+    EngineKind kind() const { return kind_; }
 
-    /** Name of the selected backend ("sparse" or "dense"). */
-    const char *backendName() const
-    {
-        return engineKindName(dense() ? EngineKind::Dense
-                                      : EngineKind::Sparse);
-    }
+    /** True when the pure dense (bit-parallel) backend was selected. */
+    bool dense() const { return kind_ == EngineKind::Dense; }
+
+    /** Name of the selected backend ("sparse"/"dense"/"hybrid"). */
+    const char *backendName() const { return engineKindName(kind_); }
+
+    /** SIMD level the word-packed engines dispatch to. */
+    SimdLevel simdLevel() const { return simd_; }
+
+    /**
+     * Backend plus dispatched vector width, e.g. "dense+avx2" or
+     * "hybrid+avx512". Plain backend name when sparse was selected or
+     * the level is scalar.
+     */
+    const std::string &datapathName() const { return datapath_; }
 
     /** The compiled automaton the engines run. */
     const CompiledNfa &compiled() const { return *cnfa; }
@@ -244,6 +288,10 @@ class EngineContext
   private:
     const CompiledNfa *cnfa;
     std::shared_ptr<const DenseNfa> dnfa;
+    EngineKind kind_ = EngineKind::Sparse;
+    SimdLevel simd_ = SimdLevel::Scalar;
+    bool autoChosen_ = false;
+    std::string datapath_;
     Status status_;
 };
 

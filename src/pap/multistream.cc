@@ -50,6 +50,7 @@ runMultiStream(const Nfa &nfa, const std::vector<InputTrace> &streams,
 
     MultiStreamResult result;
     result.engineBackend = ctx.backendName();
+    result.engineDatapath = ctx.datapathName();
     result.streamDone.assign(streams.size(), 0);
     result.reports.resize(streams.size());
 

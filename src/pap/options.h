@@ -64,11 +64,13 @@ struct PapOptions
 {
     /**
      * Execution backend for the run's flows: the sparse active-id
-     * engine, the dense bit-parallel engine, or automatic selection
-     * (PAP_ENGINE env, then a state-count threshold). Reports, cycle
-     * counts, and all figure metrics are byte-identical either way;
-     * only host wall-clock changes. The verification oracle always
-     * runs sparse, so every dense run is cross-backend checked.
+     * engine, the dense bit-parallel engine, the sparse-dense hybrid,
+     * or automatic selection (PAP_ENGINE env, then the size/density
+     * heuristic of resolveEngineKind, fed with the active density the
+     * baseline run measures). Reports, cycle counts, and all figure
+     * metrics are byte-identical either way; only host wall-clock
+     * changes. The verification oracle always runs sparse, so every
+     * word-packed run is cross-backend checked.
      */
     EngineKind engine = EngineKind::Auto;
 

@@ -7,14 +7,28 @@
 
 namespace pap {
 
-RunContext::RunContext(const Nfa &nfa, EngineKind requested)
+RunContext::RunContext(const Nfa &nfa, EngineKind requested,
+                       double density_hint)
     : cnfa(std::make_unique<const CompiledNfa>(nfa)),
-      ctx(*cnfa, requested)
+      ctx(*cnfa, requested, density_hint)
 {
     auto &m = obs::metrics();
-    m.add(ctx.dense() ? "engine.runs.dense" : "engine.runs.sparse");
-    // Gauge encoding: 0 = sparse, 1 = dense (last run wins).
-    m.setGauge("engine.backend", ctx.dense() ? 1.0 : 0.0);
+    switch (ctx.kind()) {
+    case EngineKind::Dense:
+        m.add("engine.runs.dense");
+        break;
+    case EngineKind::Hybrid:
+        m.add("engine.runs.hybrid");
+        break;
+    default:
+        m.add("engine.runs.sparse");
+        break;
+    }
+    // Gauge encodings (last run wins): engine.backend 0 = sparse,
+    // 1 = dense, 2 = hybrid; engine.simd mirrors SimdLevel (0 =
+    // scalar, 1 = avx2, 2 = avx512).
+    m.setGauge("engine.backend", static_cast<double>(ctx.kind()));
+    m.setGauge("engine.simd", static_cast<double>(ctx.simdLevel()));
 }
 
 Result<PipelineMode>

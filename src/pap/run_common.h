@@ -31,9 +31,15 @@ namespace pap {
 class RunContext
 {
   public:
-    /** Compile @p nfa and select the backend for @p requested. */
+    /**
+     * Compile @p nfa and select the backend for @p requested.
+     * @p density_hint is a measured active density (enables per symbol
+     * per state, e.g. from a baseline sequential run) that steers the
+     * Auto heuristic; pass -1 when unknown.
+     */
     explicit RunContext(const Nfa &nfa,
-                        EngineKind requested = EngineKind::Sparse);
+                        EngineKind requested = EngineKind::Sparse,
+                        double density_hint = -1.0);
 
     /** The compiled automaton. */
     const CompiledNfa &compiled() const { return *cnfa; }
@@ -41,8 +47,14 @@ class RunContext
     /** The backend selection / engine factory. */
     const EngineContext &engines() const { return ctx; }
 
-    /** Name of the selected backend ("sparse" or "dense"). */
+    /** Name of the selected backend ("sparse"/"dense"/"hybrid"). */
     const char *backendName() const { return ctx.backendName(); }
+
+    /** Backend plus dispatched SIMD level, e.g. "hybrid+avx2". */
+    const std::string &datapathName() const
+    {
+        return ctx.datapathName();
+    }
 
     /**
      * OK, or the typed selection error (an invalid PAP_ENGINE value).

@@ -44,7 +44,15 @@ runSequential(const Nfa &nfa, const InputTrace &input,
 
     SequentialResult result;
     result.engineBackend = engines.backendName();
+    result.engineDatapath = engines.datapathName();
     result.matches = engine->counters().matches;
+    const EngineCounters &c = engine->counters();
+    result.activeDensity =
+        c.symbols && cnfa.size()
+            ? static_cast<double>(c.enables) /
+                  (static_cast<double>(c.symbols) *
+                   static_cast<double>(cnfa.size()))
+            : 0.0;
     result.reports = engine->takeReports();
     const std::uint64_t entries = result.reports.size();
     sortAndDedupReports(result.reports);
@@ -253,11 +261,36 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         result.attrib = ledger.snapshot();
     };
 
+    // --- Sequential baseline (also the verification oracle) --------
+    // Runs first, always on the sparse reference backend: it doubles
+    // as the workload probe whose measured active density steers the
+    // Auto backend choice below, and a word-packed run is then
+    // cross-checked against an independent execution.
+    if (sink)
+        sink->begin("pap.baseline");
+    const auto baseline_t0 = std::chrono::steady_clock::now();
+    PapOptions oracle_opt = options;
+    oracle_opt.engine = EngineKind::Sparse;
+    const SequentialResult seq = runSequential(nfa, input, oracle_opt);
+    result.baselineCycles = seq.cycles;
+    result.seqReportEvents = seq.reports.size();
+    ledger.chargeWall("baseline", msSince(baseline_t0));
+    if (sink)
+        sink->end();
+    if (!seq.status.ok()) {
+        // The oracle only fails on a typed selection error (an
+        // invalid PAP_SIMD value); fail the run like an invalid flag.
+        result.status = seq.status;
+        finish_attrib();
+        recordRunMetrics(result);
+        return result;
+    }
+
     // --- Static analysis & placement -------------------------------
     if (sink)
         sink->begin("pap.analyze");
     const auto analyze_t0 = std::chrono::steady_clock::now();
-    const RunContext ctx(nfa, options.engine);
+    const RunContext ctx(nfa, options.engine, seq.activeDensity);
     if (!ctx.status().ok()) {
         // Typed selection error (an invalid PAP_ENGINE value): the
         // run must fail like an invalid --engine flag, not silently
@@ -286,6 +319,7 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     result.pipelineMode = pipelineModeName(mode_resolved.value());
     const CompiledNfa &cnfa = ctx.compiled();
     result.engineBackend = ctx.backendName();
+    result.engineDatapath = ctx.datapathName();
     const Components comps = connectedComponents(nfa);
     const std::vector<StateId> asg = alwaysActiveStates(nfa);
     const Placement placement = placeAutomaton(
@@ -300,21 +334,6 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                                    input.size() / min_seg)));
     describeRun(result, nfa, num_segments, placement);
     ledger.chargeWall("analyze", msSince(analyze_t0));
-    if (sink)
-        sink->end();
-
-    // --- Sequential baseline (also the verification oracle) --------
-    // The oracle always runs on the sparse reference backend, so a
-    // dense run is cross-checked against an independent execution.
-    if (sink)
-        sink->begin("pap.baseline");
-    const auto baseline_t0 = std::chrono::steady_clock::now();
-    PapOptions oracle_opt = options;
-    oracle_opt.engine = EngineKind::Sparse;
-    const SequentialResult seq = runSequential(nfa, input, oracle_opt);
-    result.baselineCycles = seq.cycles;
-    result.seqReportEvents = seq.reports.size();
-    ledger.chargeWall("baseline", msSince(baseline_t0));
     if (sink)
         sink->end();
 
@@ -334,11 +353,12 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     if (sink)
         sink->begin("pap.partition");
     const auto partition_t0 = std::chrono::steady_clock::now();
-    // The dense backend reads the per-symbol ranges straight off its
-    // match-mask popcounts; the sparse path runs the RangeAnalysis
-    // pass here (the numbers are identical by construction).
+    // The word-packed backends read the per-symbol ranges straight off
+    // the DenseNfa match-mask popcounts; the sparse path runs the
+    // RangeAnalysis pass here (the numbers are identical by
+    // construction).
     const PartitionProfile profile =
-        ctx.engines().dense()
+        ctx.engines().denseNfa()
             ? choosePartitionSymbol(
                   ctx.engines().denseNfa()->rangeSizes(), input,
                   num_segments)

@@ -34,8 +34,16 @@ struct SequentialResult
     Cycles cycles = 0;
     /** State matches (transitions) performed. */
     std::uint64_t matches = 0;
-    /** Backend that executed the run ("sparse" or "dense"). */
+    /** Backend that executed the run ("sparse"/"dense"/"hybrid"). */
     std::string engineBackend = "sparse";
+    /** Backend plus dispatched SIMD level, e.g. "dense+avx2". */
+    std::string engineDatapath = "sparse";
+    /**
+     * Measured active density: states enabled per symbol per state,
+     * in [0, 1]. This is the workload signal runPap feeds back into
+     * the Auto backend heuristic (kDenseAutoMinDensity).
+     */
+    double activeDensity = 0.0;
     /**
      * Non-Ok only when the run could not execute at all (an invalid
      * PAP_ENGINE value); all other fields are defaulted then.
@@ -53,8 +61,10 @@ struct PapResult
     std::string name;
 
     // Configuration echo (Table 1).
-    /** Backend that executed the run's flows ("sparse" or "dense"). */
+    /** Backend that executed the run's flows. */
     std::string engineBackend = "sparse";
+    /** Backend plus dispatched SIMD level, e.g. "hybrid+avx512". */
+    std::string engineDatapath = "sparse";
     std::uint32_t numSegments = 1;
     std::uint32_t idealSpeedup = 1;
     std::uint32_t halfCoresPerCopy = 1;

@@ -54,6 +54,7 @@ runSpeculative(const Nfa &nfa, const InputTrace &input,
     }
     const CompiledNfa &cnfa = ctx.compiled();
     result.engineBackend = ctx.backendName();
+    result.engineDatapath = ctx.datapathName();
     const Components comps = connectedComponents(nfa);
     const Placement placement = placeAutomaton(
         nfa, comps, config, options.routingMinHalfCores);

@@ -68,8 +68,10 @@ struct SpeculationOptions
 struct SpeculationResult
 {
     std::string name;
-    /** Backend that executed the run ("sparse" or "dense"). */
+    /** Backend that executed the run ("sparse"/"dense"/"hybrid"). */
     std::string engineBackend = "sparse";
+    /** Backend plus dispatched SIMD level, e.g. "dense+avx2". */
+    std::string engineDatapath = "sparse";
     std::uint32_t numSegments = 1;
     std::uint32_t idealSpeedup = 1;
     /** Fraction of segments whose prediction was exact. */

@@ -1515,6 +1515,8 @@ Server::stats() const
     out.queueDepth = queue_.size();
     out.generation = registry_.generation();
     out.liveGenerations = registry_.liveGenerations();
+    if (const auto ruleset = registry_.current())
+        out.engineDatapath = ruleset->engines->datapathName();
     return out;
 }
 

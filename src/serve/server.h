@@ -166,6 +166,8 @@ struct ServerStats
     std::size_t queueDepth = 0;
     std::uint64_t generation = 0;
     std::size_t liveGenerations = 0;
+    /** Datapath of the current ruleset's engines ("hybrid+avx2"...). */
+    std::string engineDatapath = "sparse";
 };
 
 /** A resumed session: re-feed the stream from @c offset. */

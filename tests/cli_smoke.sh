@@ -30,15 +30,29 @@ cmp m.nfa m2.nfa
 "$PAPSIM" run m.nfa t.bin --ranks=4 --verbose | grep -q "(verified)"
 "$PAPSIM" run m.anml t.bin --spec=128 | grep -q "speculative\["
 
-# Engine backends: both run verified and agree symbol for symbol.
+# Engine backends: all run verified and agree symbol for symbol. The
+# tag carries the dispatched SIMD level (e.g. dense+avx2), so match
+# the backend prefix and strip the whole bracket before comparing.
 SPARSE=$("$PAPSIM" run m.nfa t.bin --ranks=4 --engine=sparse)
 DENSE=$("$PAPSIM" run m.nfa t.bin --ranks=4 --engine=dense)
+HYBRID=$("$PAPSIM" run m.nfa t.bin --ranks=4 --engine=hybrid)
+SCALAR=$(PAP_SIMD=off "$PAPSIM" run m.nfa t.bin --ranks=4 \
+    --engine=dense)
 echo "$SPARSE" | grep -q "PAP\[sparse\]"
-echo "$DENSE" | grep -q "PAP\[dense\]"
-test "$(echo "$SPARSE" | sed 's/\[sparse\]//')" \
-    = "$(echo "$DENSE" | sed 's/\[dense\]//')"
+echo "$DENSE" | grep -q "PAP\[dense"
+echo "$HYBRID" | grep -q "PAP\[hybrid"
+echo "$SCALAR" | grep -q "PAP\[dense\]"
+strip_tag() { sed 's/\[[a-z0-9+]*\]//'; }
+test "$(echo "$SPARSE" | strip_tag)" = "$(echo "$DENSE" | strip_tag)"
+test "$(echo "$SPARSE" | strip_tag)" = "$(echo "$HYBRID" | strip_tag)"
+test "$(echo "$SPARSE" | strip_tag)" = "$(echo "$SCALAR" | strip_tag)"
 PAP_ENGINE=dense "$PAPSIM" run m.nfa t.bin --ranks=4 \
-    | grep -q "PAP\[dense\]"
+    | grep -q "PAP\[dense"
+if PAP_SIMD=bogus "$PAPSIM" run m.nfa t.bin --ranks=4 2>/dev/null; then
+    exit 1
+fi
+(PAP_SIMD=bogus "$PAPSIM" run m.nfa t.bin --ranks=4 2>&1 || true) \
+    | grep -q "InvalidInput"
 
 # Fault injection: deterministic, detected, recovered, same matches.
 CLEAN=$("$PAPSIM" run m.nfa t.bin --ranks=4 | grep "PAP\[")
@@ -47,8 +61,8 @@ FAULTY=$("$PAPSIM" run m.nfa t.bin --ranks=4 \
 echo "$FAULTY" | grep -q "(recovered)"
 echo "$FAULTY" | grep -q "detected=80 recovered=80"
 CLEAN_MATCHES=$(echo "$CLEAN" \
-    | sed 's/PAP\[[a-z]*\]: \([0-9]*\) matches.*/\1/')
-echo "$FAULTY" | grep -q "PAP\[[a-z]*\]: $CLEAN_MATCHES matches"
+    | sed 's/PAP\[[a-z0-9+]*\]: \([0-9]*\) matches.*/\1/')
+echo "$FAULTY" | grep -q "PAP\[[a-z0-9+]*\]: $CLEAN_MATCHES matches"
 # Overflow policies parse and run.
 "$PAPSIM" run m.nfa t.bin --ranks=4 --overflow=batch \
     | grep -q "(verified)"

@@ -566,7 +566,13 @@ class CheckpointFile : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = ::testing::TempDir() + "papsim_ckpt_test.bin";
+        // Unique per test: ctest -j runs fixture tests concurrently,
+        // so a shared filename would race between processes.
+        path_ = ::testing::TempDir() + "papsim_ckpt_test_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".bin";
         removeCheckpoint(path_);
     }
     void

@@ -86,7 +86,7 @@ usage()
         "           [--quantum=N] [--spec[=WINDOW]] [--max-reports=N]\n"
         "           [--verbose] [--metrics-json=PATH]\n"
         "           [--trace-out=PATH] [--profile] [--attrib[=json]]\n"
-        "           [--engine=sparse|dense|auto]\n"
+        "           [--engine=sparse|dense|hybrid|auto]\n"
         "           [--pipeline=barrier|overlap|auto]\n"
         "           [--overflow=batch|sequential|fail]\n"
         "           [--threads=N] [--checkpoint=PATH]\n"
@@ -96,8 +96,10 @@ usage()
         "           --threads=0 uses one thread per hardware thread;\n"
         "           PAP_THREADS sets the default when the flag is\n"
         "           absent. --engine picks the execution backend\n"
-        "           (default auto: PAP_ENGINE, then a state-count\n"
-        "           threshold); results are identical either way.\n"
+        "           (default auto: PAP_ENGINE, then a size/density\n"
+        "           heuristic); results are identical either way.\n"
+        "           PAP_SIMD=off|scalar|avx2|avx512|auto pins the\n"
+        "           vector width of the word-packed backends.\n"
         "           --pipeline schedules host execution vs\n"
         "           composition (default auto: PAP_PIPELINE, then\n"
         "           barrier); reports are identical either way.\n"
@@ -114,7 +116,8 @@ usage()
         "           [--chunk=N] [--lookback=N] [--quarantine-after=N]\n"
         "           [--session-deadline-ms=X] [--checkpoint-dir=DIR]\n"
         "           [--checkpoint-interval=N]\n"
-        "           [--engine=sparse|dense|auto] [--deadline-ms=X]\n"
+        "           [--engine=sparse|dense|hybrid|auto]\n"
+        "           [--deadline-ms=X]\n"
         "           [--max-retries=N] [--inject-faults=SPEC]\n"
         "           [--fault-seed=N] [--metrics-json=PATH]\n"
         "           serve-mode SPEC adds the stream fault kinds\n"
@@ -508,7 +511,7 @@ cmdRun(const std::vector<std::string> &args)
             return fail(r.status.toString());
         std::printf("sequential[%s]: %zu matches, %llu cycles "
                     "(%.3f ms on AP)\n",
-                    r.engineBackend.c_str(), r.reports.size(),
+                    r.engineDatapath.c_str(), r.reports.size(),
                     static_cast<unsigned long long>(r.cycles),
                     static_cast<double>(r.cycles) * 7.5e-6);
         reports = r.reports;
@@ -526,7 +529,7 @@ cmdRun(const std::vector<std::string> &args)
             return fail(r.status.toString());
         std::printf("speculative[%s]: %zu matches, %u segments, "
                     "accuracy %.2f, speedup %.2fx%s\n",
-                    r.engineBackend.c_str(), r.reports.size(),
+                    r.engineDatapath.c_str(), r.reports.size(),
                     r.numSegments, r.accuracy, r.speedup,
                     r.verified ? " (verified)"
                                : (r.recovered ? " (recovered)" : ""));
@@ -615,7 +618,7 @@ cmdRun(const std::vector<std::string> &args)
             "PAP[%s]: %zu matches, %u segments (ideal %ux), speedup "
             "%.2fx%s%s\n  flows range/cc/parent/active = "
             "%.0f/%.0f/%.0f/%.1f, switch %.2f%%, inflation %.1fx\n",
-            r.engineBackend.c_str(), r.reports.size(), r.numSegments,
+            r.engineDatapath.c_str(), r.reports.size(), r.numSegments,
             r.idealSpeedup, r.speedup, mark,
             r.degraded ? " [degraded]" : "", r.flowsInRange,
             r.flowsAfterCc, r.flowsAfterParent, r.avgActiveFlows,
