@@ -1,0 +1,285 @@
+/**
+ * @file
+ * State Vector Cache sensitivity: capacity x replacement policy x
+ * overflow handling on an enumeration workload whose flow plan
+ * (>512 flows per segment) exceeds the D480's 512-entry SVC, the
+ * regime Section 3.2's overflow discussion leaves to the scheduler.
+ *
+ * The workload is a ruleset of independent "b c{L} z" chains with a
+ * skewed lifetime mix (70% die within ~60 symbols, 20% within ~160,
+ * 10% run for hundreds), so victim choice matters: most contexts are
+ * about to free themselves, and a policy that can see that (cost-
+ * aware: evict the smallest modeled re-upload + remaining-lifetime
+ * cost) keeps the long-lived flows resident while LRU's cyclic-access
+ * thrash re-uploads exactly the contexts it still needs.
+ *
+ * Swept: OverflowPolicy::Batch (run in SVC-sized batches, re-stream
+ * the input per batch) and OverflowPolicy::Evict under lru/fifo/cost,
+ * each at capacities 64..512. Reports are byte-identical across every
+ * cell by construction; this harness re-checks that, that cost-aware
+ * eviction at the native 512 capacity is at least as fast as
+ * batching, and that the cost-aware capacity curve is monotone (no
+ * mid-sweep cliff). Emits BENCH_svc.json (path overridable as
+ * argv[1]).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ap/ap_config.h"
+#include "bench_common.h"
+#include "nfa/glushkov.h"
+#include "pap/runner.h"
+
+using namespace pap;
+
+namespace {
+
+/** Enumeration rules: every chain starts at the 'b' boundary. */
+constexpr std::uint32_t kRules = 584;
+
+/**
+ * Skewed lifetime of rule @p i, in symbols: mostly short chains, a
+ * minority of long ones. All below the 511-symbol 'c' runs of the
+ * trace, so a flow's lifetime is its chain length.
+ */
+std::uint32_t
+chainLen(std::uint32_t i)
+{
+    const std::uint32_t r = i % 10;
+    if (r < 7)
+        return 4 + (i * 13) % 56; // dies inside the first TDM round
+    if (r < 9)
+        return 80 + (i * 17) % 80; // one or two rounds
+    return 250 + (i * 29) % 230;   // the flows worth keeping resident
+}
+
+Nfa
+buildChains()
+{
+    std::vector<RegexRule> rules;
+    rules.reserve(kRules);
+    for (std::uint32_t i = 0; i < kRules; ++i)
+        rules.push_back({"bc{" + std::to_string(chainLen(i)) + "}z",
+                         static_cast<ReportCode>(i), false});
+    return compileRuleset(rules, "svc_chains");
+}
+
+/**
+ * 'b' every 512 symbols, 'c' runs between: frequent enough that the
+ * partitioner keeps 'b' as the boundary symbol (range = one flow per
+ * rule), long enough that no chain is cut short by the next 'b'.
+ */
+InputTrace
+buildTrace(std::uint64_t len)
+{
+    std::string text;
+    text.reserve(len);
+    while (text.size() < len) {
+        text += 'b';
+        text.append(std::min<std::size_t>(511, len - text.size()), 'c');
+    }
+    return InputTrace::fromString(text);
+}
+
+struct Row
+{
+    std::string label; // row identity for bench_compare.py
+    std::string mode;  // "batch" or "evict"
+    std::string policy;
+    std::uint32_t capacity = 0;
+    double speedup = 0.0;
+    Cycles papCycles = 0;
+    std::uint32_t batches = 1;
+    std::uint64_t evictions = 0;
+    std::uint64_t reuploads = 0;
+    double hitRate = 1.0;
+    Cycles reuploadCycles = 0;
+    bool capped = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ObsSession obs_session("svc_sensitivity");
+    bench::printHeader(
+        "SVC sensitivity: capacity x replacement policy vs batching",
+        "Section 3.2 State Vector Cache overflow");
+
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_svc.json";
+    // The flow-death transient of a >512-flow segment costs tens of
+    // thousands of cycles no matter the policy; the trace must be
+    // long relative to it or the golden cap flattens every cell.
+    const std::uint64_t len = bench::largeTraceLen();
+
+    const Nfa nfa = buildChains();
+    const InputTrace input = buildTrace(len);
+    const ApConfig cfg = ApConfig::d480(1);
+
+    PapOptions base;
+    base.threads = bench::hostThreads();
+    // One flow per rule: component merging would pack the independent
+    // chains into a single flow and hide the SVC pressure this bench
+    // exists to measure.
+    base.enableCcMerging = false;
+
+    const std::uint32_t capacities[] = {64, 128, 256, 384, 512};
+    const SvcPolicyKind policies[] = {SvcPolicyKind::Lru,
+                                      SvcPolicyKind::Fifo,
+                                      SvcPolicyKind::CostAware};
+
+    std::vector<Row> rows;
+    std::vector<ReportEvent> ref_reports;
+    bool identical = true;
+    std::uint32_t plan_flows = 0;
+
+    const auto run_cell = [&](OverflowPolicy mode, SvcPolicyKind pol,
+                              std::uint32_t capacity) {
+        PapOptions opt = base;
+        opt.overflowPolicy = mode;
+        opt.svcPolicy = pol;
+        opt.svcCapacity = capacity;
+        const PapResult r = runPap(nfa, input, cfg, opt);
+        if (!r.status.ok() || !r.verified) {
+            std::fprintf(stderr, "FAIL: run did not verify (%s)\n",
+                         r.status.ok() ? "divergence"
+                                       : r.status.toString().c_str());
+            identical = false;
+        }
+        if (ref_reports.empty())
+            ref_reports = r.reports;
+        else if (r.reports != ref_reports) {
+            identical = false;
+            std::fprintf(stderr,
+                         "FAIL: reports differ at %s/%s/c%u\n",
+                         mode == OverflowPolicy::Evict ? "evict"
+                                                       : "batch",
+                         svcPolicyName(pol), capacity);
+        }
+        plan_flows = std::max(plan_flows, r.maxFlowsPerSegment);
+
+        Row row;
+        row.mode = mode == OverflowPolicy::Evict ? "evict" : "batch";
+        row.policy = mode == OverflowPolicy::Evict
+                         ? svcPolicyName(pol)
+                         : "batch";
+        row.capacity = capacity;
+        row.label = row.mode + "-" + row.policy + "-c" +
+                    std::to_string(capacity);
+        row.speedup = r.speedup;
+        row.papCycles = r.papCycles;
+        row.batches = r.svcBatches;
+        row.evictions = r.svcEvictions;
+        row.reuploads = r.svcReuploads;
+        row.hitRate = r.svcHitRate;
+        row.reuploadCycles = r.svcReuploadCycles;
+        row.capped = r.goldenCapped;
+        rows.push_back(row);
+        std::printf("  %-18s  %8.3fx  %7llu ev  %7llu re  hit %.3f  "
+                    "%u batch%s%s\n",
+                    row.label.c_str(), row.speedup,
+                    static_cast<unsigned long long>(row.evictions),
+                    static_cast<unsigned long long>(row.reuploads),
+                    row.hitRate, row.batches,
+                    row.batches == 1 ? "" : "es",
+                    row.capped ? "  [golden-capped]" : "");
+        return row;
+    };
+
+    std::printf("workload: %u chain rules, %llu-symbol trace\n\n",
+                kRules, static_cast<unsigned long long>(len));
+
+    for (const std::uint32_t c : capacities)
+        run_cell(OverflowPolicy::Batch, SvcPolicyKind::Lru, c);
+    for (const auto pol : policies)
+        for (const std::uint32_t c : capacities)
+            run_cell(OverflowPolicy::Evict, pol, c);
+
+    // --- Acceptance checks -------------------------------------------
+    bool ok = identical;
+    if (plan_flows <= 512) {
+        std::fprintf(stderr,
+                     "FAIL: workload plans only %u flows per segment; "
+                     "the sweep never overflows the native SVC\n",
+                     plan_flows);
+        ok = false;
+    }
+    const auto find = [&](const std::string &label) -> const Row & {
+        for (const Row &r : rows)
+            if (r.label == label)
+                return r;
+        static Row none;
+        return none;
+    };
+    const Row &batch512 = find("batch-batch-c512");
+    const Row &cost512 = find("evict-cost-c512");
+    if (cost512.speedup + 1e-9 < batch512.speedup) {
+        std::fprintf(stderr,
+                     "FAIL: cost-aware eviction at capacity 512 "
+                     "(%.3fx) is slower than batching (%.3fx)\n",
+                     cost512.speedup, batch512.speedup);
+        ok = false;
+    }
+    double prev = 0.0;
+    for (const std::uint32_t c : capacities) {
+        const Row &r =
+            find("evict-cost-c" + std::to_string(c));
+        if (r.speedup + 1e-9 < prev) {
+            std::fprintf(stderr,
+                         "FAIL: cost-aware capacity curve dips at "
+                         "c%u (%.3fx after %.3fx)\n",
+                         c, r.speedup, prev);
+            ok = false;
+        }
+        prev = r.speedup;
+    }
+    std::printf("\n%u flows per enumeration segment; reports %s; "
+                "cost@512 %.3fx vs batch@512 %.3fx\n",
+                plan_flows,
+                identical ? "byte-identical across all cells"
+                          : "DIVERGED",
+                cost512.speedup, batch512.speedup);
+
+    std::FILE *f = std::fopen(out_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    bench::writeMetaHeader(f, "svc_sensitivity");
+    std::fprintf(f, "  \"trace_symbols\": %llu,\n",
+                 static_cast<unsigned long long>(len));
+    std::fprintf(f, "  \"rules\": %u,\n", kRules);
+    std::fprintf(f, "  \"flows_per_segment\": %u,\n", plan_flows);
+    std::fprintf(f, "  \"reports_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", \"mode\": \"%s\", "
+            "\"policy\": \"%s\", \"capacity\": %u, "
+            "\"speedup\": %.4f, \"pap_cycles\": %llu, "
+            "\"batches\": %u, \"svc_evictions\": %llu, "
+            "\"svc_reuploads\": %llu, \"svc_hit_rate\": %.4f, "
+            "\"svc_reupload_cycles\": %llu, "
+            "\"golden_capped\": %s}%s\n",
+            r.label.c_str(), r.mode.c_str(), r.policy.c_str(),
+            r.capacity, r.speedup,
+            static_cast<unsigned long long>(r.papCycles), r.batches,
+            static_cast<unsigned long long>(r.evictions),
+            static_cast<unsigned long long>(r.reuploads), r.hitRate,
+            static_cast<unsigned long long>(r.reuploadCycles),
+            r.capped ? "true" : "false",
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+    return ok ? 0 : 1;
+}

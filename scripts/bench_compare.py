@@ -27,8 +27,9 @@ Options:
   --allow-config-mismatch compare despite differing meta.trace_config
 
 Metric direction is inferred from the name: *_ms, *_crashes, *_shed,
-and *_replayed_symbols are lower-is-better; *per_sec*, *speedup*,
-*occupancy*, *gain*, *_admitted, and *_recovered_sessions are
+*_replayed_symbols, *_evictions, and *_reuploads are lower-is-better;
+*per_sec*, *speedup*, *occupancy*, *gain*, *_admitted, *_hit_rate, and
+*_recovered_sessions are
 higher-is-better; anything else (densities, state counts, cycle
 models) is informational and never gated. Rows are matched by their string-valued fields plus
 "states"; rows present on only one side are warned about, not failed.
@@ -68,6 +69,14 @@ def direction(name):
     # exists to shrink this, so growth is a regression.
     if name.endswith("_bytes_per_symbol"):
         return "lower"
+    # SVC pressure counters (BENCH_svc.json): an eviction displaces a
+    # context the schedule may still need, and every re-upload pays the
+    # 1668-cycle state-vector restore — more of either at a fixed
+    # capacity means the replacement policy got worse.
+    if name.endswith("_evictions") or name.endswith("_reuploads"):
+        return "lower"
+    if name.endswith("_hit_rate"):
+        return "higher"
     if name.endswith("_recovered_sessions"):
         return "higher"
     if ("per_sec" in name or "speedup" in name or "occupancy" in name
@@ -82,9 +91,14 @@ def is_relative(name):
     # criterion is zero everywhere), so CI gates them too. So are the
     # modeled bytes-per-symbol counters: deterministic functions of
     # the automaton and trace, not of the host.
+    # SVC eviction/re-upload counts and hit rates are likewise modeled
+    # outputs of the replacement policy on a fixed flow plan — exactly
+    # reproducible on any host.
     return ("speedup" in name or "occupancy" in name
             or name.endswith("gain") or name.endswith("_crashes")
-            or name.endswith("_bytes_per_symbol"))
+            or name.endswith("_bytes_per_symbol")
+            or name.endswith("_evictions") or name.endswith("_reuploads")
+            or name.endswith("_hit_rate"))
 
 
 def is_number(v):

@@ -4,18 +4,11 @@
 
 namespace pap {
 
-StateVectorCache::StateVectorCache(std::uint32_t capacity)
-    : maxEntries(capacity)
+StateVectorCache::StateVectorCache(std::uint32_t capacity,
+                                   SvcPolicyKind policy)
+    : maxEntries(capacity), policy_(makeSvcPolicy(policy))
 {
     PAP_ASSERT(capacity > 0, "SVC needs a positive capacity");
-}
-
-const std::vector<StateId> &
-StateVectorCache::entryOf(FlowId flow) const
-{
-    const auto it = entries.find(flow);
-    PAP_ASSERT(it != entries.end(), "flow ", flow, " not resident");
-    return it->second;
 }
 
 Status
@@ -30,8 +23,50 @@ StateVectorCache::save(FlowId flow, std::vector<StateId> vector)
             "; evict a flow or execute in batches");
     }
     entries[flow] = std::move(vector);
+    if (existed)
+        policy_->touch(flow);
+    else
+        policy_->admit(flow, 0, /*pinned=*/false);
+    evicted.erase(flow);
     stats.add("svc.saves");
     return Status();
+}
+
+Result<StateVectorCache::Admission>
+StateVectorCache::saveEvicting(FlowId flow, std::vector<StateId> vector,
+                               std::uint64_t cost, bool pinned)
+{
+    Admission adm;
+    const bool existed = entries.contains(flow);
+    if (!existed && entries.size() >= maxEntries) {
+        const Result<FlowId> victim = policy_->victim();
+        if (!victim.ok()) {
+            stats.add("svc.save_rejects");
+            return victim.status();
+        }
+        entries.erase(victim.value());
+        policy_->remove(victim.value());
+        evicted.insert(victim.value());
+        stats.add("svc.evictions");
+        adm.evicted = true;
+        adm.victim = victim.value();
+    }
+    if (!existed && evicted.contains(flow)) {
+        // Re-admission of a previously evicted flow: its context must
+        // stream back through the state-vector upload path.
+        adm.reupload = true;
+        stats.add("svc.reuploads");
+    }
+    entries[flow] = std::move(vector);
+    if (existed) {
+        policy_->touch(flow);
+        policy_->setCost(flow, cost);
+    } else {
+        policy_->admit(flow, cost, pinned);
+    }
+    evicted.erase(flow);
+    stats.add("svc.saves");
+    return adm;
 }
 
 Result<const std::vector<StateId> *>
@@ -44,14 +79,31 @@ StateVectorCache::load(FlowId flow)
         return Status::error(ErrorCode::InvalidInput, "flow ", flow,
                              " has no resident state vector");
     }
+    stats.add("svc.load_hits");
+    policy_->touch(flow);
     return &it->second;
 }
 
-void
+bool
 StateVectorCache::invalidate(FlowId flow)
 {
-    entries.erase(flow);
+    if (entries.erase(flow) == 0) {
+        stats.add("svc.invalidate_misses");
+        return false;
+    }
+    policy_->remove(flow);
+    // A deliberate drop is not an eviction: the flow is gone (dead,
+    // converged, or explicitly invalidated), so a later save of the
+    // same id is a fresh compulsory admission, not a re-upload.
+    evicted.erase(flow);
     stats.add("svc.invalidates");
+    return true;
+}
+
+void
+StateVectorCache::setCost(FlowId flow, std::uint64_t cost)
+{
+    policy_->setCost(flow, cost);
 }
 
 bool
@@ -60,18 +112,37 @@ StateVectorCache::resident(FlowId flow) const
     return entries.contains(flow);
 }
 
-bool
+Result<bool>
 StateVectorCache::equal(FlowId a, FlowId b)
 {
     stats.add("svc.compares");
-    return entryOf(a) == entryOf(b);
+    const auto ia = entries.find(a);
+    const auto ib = entries.find(b);
+    if (ia == entries.end() || ib == entries.end()) {
+        stats.add("svc.compare_misses");
+        return Status::error(
+            ErrorCode::InvalidInput, "SVC compare on non-resident flow ",
+            ia == entries.end() ? a : b,
+            " (evicted or invalidated); re-upload before comparing");
+    }
+    policy_->touch(a);
+    policy_->touch(b);
+    return ia->second == ib->second;
 }
 
-bool
+Result<bool>
 StateVectorCache::isZero(FlowId flow)
 {
     stats.add("svc.zeroChecks");
-    return entryOf(flow).empty();
+    const auto it = entries.find(flow);
+    if (it == entries.end()) {
+        stats.add("svc.zero_check_misses");
+        return Status::error(
+            ErrorCode::InvalidInput, "SVC zero-check on non-resident ",
+            "flow ", flow, " (evicted or invalidated)");
+    }
+    policy_->touch(flow);
+    return it->second.empty();
 }
 
 } // namespace pap

@@ -7,19 +7,35 @@
  * checks (Section 3.3.4); both are modeled here along with the access
  * counters the timing model consumes.
  *
+ * The cache is a real cache, not a fixed table: admission beyond
+ * capacity evicts a victim chosen by a pluggable replacement policy
+ * (ap/svc_policy.h — LRU, FIFO, or cost-aware), entries can be pinned
+ * (the ASG flow shares residency but is never sacrificed), and a
+ * re-admission after an eviction is classified as a re-upload so the
+ * timing model can charge the 1668-cycle state-vector upload for it.
+ *
  * Capacity exhaustion and non-resident accesses are recoverable
- * conditions (the flow scheduler reacts by batching or re-uploading),
- * so save/load report them through pap::Status/Result instead of
- * aborting.
+ * conditions (the flow scheduler reacts by batching, evicting, or
+ * re-uploading), so every accessor — save/load/equal/isZero —
+ * reports them through pap::Status/Result instead of aborting.
+ *
+ * Counters (see docs/observability.md): svc.saves, svc.save_rejects,
+ * svc.loads = svc.load_hits + svc.load_misses, svc.evictions,
+ * svc.reuploads, svc.invalidates, svc.invalidate_misses,
+ * svc.compares, svc.compare_misses, svc.zeroChecks,
+ * svc.zero_check_misses.
  */
 
 #ifndef PAP_AP_STATE_VECTOR_CACHE_H
 #define PAP_AP_STATE_VECTOR_CACHE_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "ap/svc_policy.h"
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -30,29 +46,78 @@ namespace pap {
 class StateVectorCache
 {
   public:
-    /** @param capacity maximum resident flow contexts (512 on D480). */
-    explicit StateVectorCache(std::uint32_t capacity);
+    /**
+     * @param capacity maximum resident flow contexts (512 on D480).
+     * @param policy   replacement policy for evicting admissions.
+     */
+    explicit StateVectorCache(std::uint32_t capacity,
+                              SvcPolicyKind policy = SvcPolicyKind::Lru);
 
     /**
      * Save a flow's state vector (the sorted active-state set).
      * Fails with CapacityExceeded when the cache is full and @p flow
-     * is not already resident; the caller must evict or batch.
+     * is not already resident; the caller must evict or batch. This
+     * is the non-evicting admission the batching scheduler uses —
+     * see saveEvicting() for the live-cache path.
      */
     Status save(FlowId flow, std::vector<StateId> vector);
+
+    /** What a saveEvicting() admission did to the cache. */
+    struct Admission
+    {
+        /** A victim was evicted to make room. */
+        bool evicted = false;
+        /** The evicted flow (kInvalidFlow when nothing was evicted). */
+        FlowId victim = kInvalidFlow;
+        /**
+         * The admitted flow had been evicted earlier and is being
+         * restored: the caller owes a modeled state-vector re-upload.
+         * First-ever admissions are compulsory and free, matching the
+         * batch scheduler's free initial batch load.
+         */
+        bool reupload = false;
+    };
+
+    /**
+     * Save a flow's state vector, evicting the policy's victim when
+     * the cache is full. @p cost is the modeled restore cost fed to
+     * the cost-aware policy; @p pinned entries are never chosen as
+     * victims. Fails with CapacityExceeded only when the cache is
+     * full and every resident entry is pinned — the flow then runs
+     * without residency and the caller charges a re-upload per access.
+     */
+    Result<Admission> saveEvicting(FlowId flow,
+                                   std::vector<StateId> vector,
+                                   std::uint64_t cost = 0,
+                                   bool pinned = false);
 
     /**
      * Load a flow's state vector. Fails with InvalidInput when the
      * flow is not resident (deactivated, invalidated, or evicted).
      * The pointer stays valid until the entry is saved over or
-     * invalidated.
+     * invalidated. Counts svc.load_hits / svc.load_misses (svc.loads
+     * stays their sum) and refreshes the policy's recency state.
      */
     Result<const std::vector<StateId> *> load(FlowId flow);
 
-    /** Drop a flow's entry (deactivation or invalidation). */
-    void invalidate(FlowId flow);
+    /**
+     * Drop a flow's entry (deactivation, convergence merge, or
+     * invalidation). @return true when an entry was actually erased;
+     * a non-resident flow only counts svc.invalidate_misses.
+     */
+    bool invalidate(FlowId flow);
+
+    /** Update the modeled restore cost of a resident flow. */
+    void setCost(FlowId flow, std::uint64_t cost);
 
     /** True if the flow currently has a resident vector. */
     bool resident(FlowId flow) const;
+
+    /** True if the flow was evicted and has not been re-admitted. */
+    bool evictedSinceAdmission(FlowId flow) const
+    {
+        return evicted.find(flow) != evicted.end();
+    }
 
     /** Number of resident entries. */
     std::uint32_t occupancy() const
@@ -62,25 +127,36 @@ class StateVectorCache
 
     std::uint32_t capacity() const { return maxEntries; }
 
+    /** Replacement policy name ("lru", "fifo", "cost"). */
+    const char *policyName() const { return policy_->name(); }
+
     /**
      * Comparator: true if two resident flows hold bitwise-equal state
-     * vectors (the convergence condition). Both flows must be
-     * resident; the TDM scheduler only compares live flows.
+     * vectors (the convergence condition). Fails with InvalidInput —
+     * and counts svc.compare_misses — when either flow is not
+     * resident (e.g. an injected evict-svc fault landed between the
+     * save and this convergence check); the scheduler recovers by
+     * re-uploading, so this must not abort.
      */
-    bool equal(FlowId a, FlowId b);
+    Result<bool> equal(FlowId a, FlowId b);
 
-    /** Zero-mask test: true if the resident flow's vector is all-zero. */
-    bool isZero(FlowId flow);
+    /**
+     * Zero-mask test: true if the resident flow's vector is all-zero.
+     * Fails with InvalidInput (and counts svc.zero_check_misses) on a
+     * non-resident flow, mirroring equal().
+     */
+    Result<bool> isZero(FlowId flow);
 
-    /** Access counters: saves, loads, compares, zeroChecks, invalidates. */
+    /** Access counters (see the file comment for the full list). */
     const CounterSet &counters() const { return stats; }
 
   private:
     std::uint32_t maxEntries;
+    std::unique_ptr<SvcPolicy> policy_;
     std::unordered_map<FlowId, std::vector<StateId>> entries;
+    /** Flows evicted and not yet re-admitted (re-upload accounting). */
+    std::unordered_set<FlowId> evicted;
     CounterSet stats;
-
-    const std::vector<StateId> &entryOf(FlowId flow) const;
 };
 
 } // namespace pap

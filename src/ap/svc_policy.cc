@@ -1,0 +1,151 @@
+#include "ap/svc_policy.h"
+
+#include "common/logging.h"
+
+namespace pap {
+
+const char *
+svcPolicyName(SvcPolicyKind kind)
+{
+    switch (kind) {
+      case SvcPolicyKind::Lru: return "lru";
+      case SvcPolicyKind::Fifo: return "fifo";
+      case SvcPolicyKind::CostAware: return "cost";
+    }
+    return "lru";
+}
+
+Result<SvcPolicyKind>
+parseSvcPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return SvcPolicyKind::Lru;
+    if (name == "fifo")
+        return SvcPolicyKind::Fifo;
+    if (name == "cost")
+        return SvcPolicyKind::CostAware;
+    return Status::error(ErrorCode::InvalidInput,
+                         "unknown SVC policy '", name,
+                         "' (want lru, fifo, or cost)");
+}
+
+void
+SvcPolicy::admit(FlowId flow, std::uint64_t cost, bool pinned)
+{
+    Entry e;
+    e.admitTick = ++tick_;
+    e.touchTick = e.admitTick;
+    e.cost = cost;
+    e.pinned = pinned;
+    entries_[flow] = e;
+}
+
+void
+SvcPolicy::touch(FlowId flow)
+{
+    const auto it = entries_.find(flow);
+    if (it != entries_.end())
+        it->second.touchTick = ++tick_;
+}
+
+void
+SvcPolicy::remove(FlowId flow)
+{
+    entries_.erase(flow);
+}
+
+void
+SvcPolicy::setCost(FlowId flow, std::uint64_t cost)
+{
+    const auto it = entries_.find(flow);
+    if (it != entries_.end())
+        it->second.cost = cost;
+}
+
+Result<FlowId>
+SvcPolicy::victim() const
+{
+    FlowId best = kInvalidFlow;
+    const Entry *best_entry = nullptr;
+    for (const auto &[flow, entry] : entries_) {
+        if (entry.pinned)
+            continue;
+        // Total deterministic order: the policy's preference first,
+        // then the smaller flow id. The map's iteration order never
+        // influences the choice.
+        if (best_entry == nullptr || evictBefore(entry, *best_entry) ||
+            (!evictBefore(*best_entry, entry) && flow < best)) {
+            best = flow;
+            best_entry = &entry;
+        }
+    }
+    if (best_entry == nullptr)
+        return Status::error(ErrorCode::CapacityExceeded,
+                             "no evictable SVC entry: all ",
+                             entries_.size(), " residents are pinned");
+    return best;
+}
+
+namespace {
+
+class LruPolicy final : public SvcPolicy
+{
+  public:
+    SvcPolicyKind kind() const override { return SvcPolicyKind::Lru; }
+
+  protected:
+    bool evictBefore(const Entry &a, const Entry &b) const override
+    {
+        return a.touchTick < b.touchTick;
+    }
+};
+
+class FifoPolicy final : public SvcPolicy
+{
+  public:
+    SvcPolicyKind kind() const override { return SvcPolicyKind::Fifo; }
+
+  protected:
+    bool evictBefore(const Entry &a, const Entry &b) const override
+    {
+        return a.admitTick < b.admitTick;
+    }
+};
+
+class CostAwarePolicy final : public SvcPolicy
+{
+  public:
+    SvcPolicyKind kind() const override
+    {
+        return SvcPolicyKind::CostAware;
+    }
+
+  protected:
+    bool evictBefore(const Entry &a, const Entry &b) const override
+    {
+        if (a.cost != b.cost)
+            return a.cost < b.cost;
+        // Equal restore cost: prefer the most recently used entry.
+        // The TDM scheduler services live flows cyclically, so the
+        // flow touched last is the farthest from its next access —
+        // the Belady choice under a round-robin reference pattern.
+        return a.touchTick > b.touchTick;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<SvcPolicy>
+makeSvcPolicy(SvcPolicyKind kind)
+{
+    switch (kind) {
+      case SvcPolicyKind::Lru: return std::make_unique<LruPolicy>();
+      case SvcPolicyKind::Fifo: return std::make_unique<FifoPolicy>();
+      case SvcPolicyKind::CostAware:
+        return std::make_unique<CostAwarePolicy>();
+    }
+    PAP_ASSERT(false, "unreachable SVC policy kind");
+    return nullptr;
+}
+
+} // namespace pap

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pluggable replacement policies for the State Vector Cache. The SVC
+ * holds one flow context per entry (512 on the D480); when a segment
+ * schedules more flows than entries, something must be evicted and
+ * later re-uploaded at the published 1668-cycle state-vector upload
+ * cost (Section 3.2). Which entry to sacrifice is a policy question,
+ * so it lives behind this interface:
+ *
+ *  - LRU   evicts the least-recently-touched flow (classic recency).
+ *  - FIFO  evicts the earliest-admitted flow (no access tracking).
+ *  - Cost  evicts the flow whose context is cheapest to restore: the
+ *          smallest modeled re-upload + re-execution cost. The caller
+ *          feeds the cost in (the timing model uses the upload charge
+ *          plus the flow's remaining lifetime, so flows about to
+ *          deactivate or converge are sacrificed first — they will
+ *          never need restoring). Ties break toward the most recently
+ *          used entry: under the cyclic TDM access pattern the flow
+ *          just serviced is the farthest from its next use.
+ *
+ * Entries can be pinned (the ASG flow shares SVC residency but must
+ * never be evicted) and every decision is deterministic: victim
+ * selection orders candidates totally, with the flow id as the final
+ * tie-break, so runs are reproducible across platforms and hash-map
+ * iteration orders.
+ */
+
+#ifndef PAP_AP_SVC_POLICY_H
+#define PAP_AP_SVC_POLICY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace pap {
+
+/** Selectable replacement policy (--svc-policy=lru|fifo|cost). */
+enum class SvcPolicyKind : std::uint8_t
+{
+    Lru,
+    Fifo,
+    CostAware,
+};
+
+/** Canonical CLI name of a policy kind ("lru", "fifo", "cost"). */
+const char *svcPolicyName(SvcPolicyKind kind);
+
+/** Parse a CLI policy name; typed InvalidInput error on anything else. */
+Result<SvcPolicyKind> parseSvcPolicy(const std::string &name);
+
+/**
+ * Replacement bookkeeping for one cache. The cache owns the entry
+ * payloads; the policy tracks per-flow recency/admission/cost facts
+ * and answers "who goes next". All operations are O(1) except
+ * victim(), a deterministic linear scan over at most capacity entries.
+ */
+class SvcPolicy
+{
+  public:
+    virtual ~SvcPolicy() = default;
+
+    /** Kind this policy implements. */
+    virtual SvcPolicyKind kind() const = 0;
+
+    const char *name() const { return svcPolicyName(kind()); }
+
+    /** A flow was admitted (or re-admitted after eviction). */
+    void admit(FlowId flow, std::uint64_t cost, bool pinned);
+
+    /** A resident flow was accessed (load, save-over, compare). */
+    void touch(FlowId flow);
+
+    /** A flow left the cache (eviction or invalidation). */
+    void remove(FlowId flow);
+
+    /** Update a resident flow's modeled restore cost. */
+    void setCost(FlowId flow, std::uint64_t cost);
+
+    /** True when the policy tracks @p flow. */
+    bool tracked(FlowId flow) const
+    {
+        return entries_.find(flow) != entries_.end();
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * The flow this policy would evict now. Fails with
+     * CapacityExceeded when every tracked entry is pinned (the caller
+     * must then run the flow without residency, paying a re-upload
+     * per access).
+     */
+    Result<FlowId> victim() const;
+
+  protected:
+    /** Per-flow facts every policy shares. */
+    struct Entry
+    {
+        std::uint64_t admitTick = 0;
+        std::uint64_t touchTick = 0;
+        std::uint64_t cost = 0;
+        bool pinned = false;
+    };
+
+    /**
+     * Strict-weak "evict a before b" order; victim() breaks remaining
+     * ties by the smaller flow id, so the total order (and therefore
+     * every simulated timeline) is deterministic.
+     */
+    virtual bool evictBefore(const Entry &a, const Entry &b) const = 0;
+
+    std::unordered_map<FlowId, Entry> entries_;
+
+  private:
+    std::uint64_t tick_ = 0;
+};
+
+/** Construct a fresh policy of @p kind. */
+std::unique_ptr<SvcPolicy> makeSvcPolicy(SvcPolicyKind kind);
+
+} // namespace pap
+
+#endif // PAP_AP_SVC_POLICY_H

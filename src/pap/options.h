@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ap/svc_policy.h"
 #include "common/types.h"
 #include "engine/engine_backend.h"
 
@@ -57,6 +58,14 @@ enum class OverflowPolicy : std::uint8_t
     SequentialFallback,
     /** Fail the run with a CapacityExceeded status. */
     Fail,
+    /**
+     * Run the whole plan through a live cache: every flow is
+     * scheduled, the SVC evicts per the configured replacement policy
+     * (svcPolicy), and each restored context pays the 1668-cycle
+     * state-vector re-upload in the timeline. Reports are byte-
+     * identical to Batch; only timing and svc.* counters differ.
+     */
+    Evict,
 };
 
 /** Knobs for one PAP run. Every optimization can be ablated. */
@@ -157,6 +166,22 @@ struct PapOptions
      * Cache capacity of the device (Section 3.2).
      */
     OverflowPolicy overflowPolicy = OverflowPolicy::Batch;
+
+    /**
+     * Replacement policy of the State Vector Cache under
+     * OverflowPolicy::Evict (ap/svc_policy.h): lru, fifo, or
+     * cost-aware. Timing-only — reports and per-figure metrics are
+     * byte-identical across policies.
+     */
+    SvcPolicyKind svcPolicy = SvcPolicyKind::Lru;
+
+    /**
+     * Override of the modeled SVC capacity, in flow contexts
+     * (0 = the device's svcEntriesPerDevice, 512 on the D480).
+     * Affects both the Batch batch size and the Evict live cache —
+     * the knob the capacity-sensitivity sweep turns.
+     */
+    std::uint32_t svcCapacity = 0;
 
     /**
      * Optional deterministic fault-injection harness (not owned).

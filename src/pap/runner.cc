@@ -105,6 +105,14 @@ recordRunMetrics(const PapResult &result)
         m.add("runner.svc_overflows");
     if (result.svcBatches > 1)
         m.add("runner.svc_batched_runs");
+    // Live-cache census (Evict mode; all zero under Batch).
+    m.add("svc.evictions", result.svcEvictions);
+    m.add("svc.reuploads", result.svcReuploads);
+    m.add("svc.load_hits", result.svcLoadHits);
+    m.add("svc.load_misses", result.svcLoadMisses);
+    m.add("svc.loads", result.svcLoadHits + result.svcLoadMisses);
+    if (result.svcLoadHits + result.svcLoadMisses > 0)
+        m.setGauge("svc.hit_rate", result.svcHitRate);
     if (result.goldenCapped)
         m.add("runner.golden_caps");
     if (result.degraded)
@@ -409,12 +417,20 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
 
     // --- Overflow policy --------------------------------------------
     // The ASG flow occupies one SVC entry alongside the enumeration
-    // flows, so a segment fits iff flows + asg <= SVC capacity.
+    // flows, so a segment fits iff flows + asg <= SVC capacity. The
+    // capacity defaults to the device's (512 on the D480) but is
+    // overridable for sensitivity sweeps (--svc-capacity).
+    const std::uint32_t svc_capacity =
+        options.svcCapacity > 0 ? options.svcCapacity
+                                : config.svcEntriesPerDevice;
     const std::uint32_t asg_slots = asg.empty() ? 0u : 1u;
     const std::uint32_t batch_cap = std::max<std::uint32_t>(
-        1, config.svcEntriesPerDevice - std::min(
-               config.svcEntriesPerDevice - 1, asg_slots));
+        1, svc_capacity - std::min(svc_capacity - 1, asg_slots));
+    const bool evict_mode =
+        options.overflowPolicy == OverflowPolicy::Evict;
     result.svcOverflow = result.maxFlowsPerSegment > batch_cap;
+    result.svcCapacity = svc_capacity;
+    result.svcPolicy = svcPolicyName(options.svcPolicy);
 
     const auto sequential_fallback = [&](const std::string &why) {
         warn("'", nfa.name(), "' falls back to the golden sequential "
@@ -448,11 +464,11 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
         return sequential_fallback(why);
     }
     if (result.svcOverflow &&
-        options.overflowPolicy != OverflowPolicy::Batch) {
+        options.overflowPolicy != OverflowPolicy::Batch &&
+        !evict_mode) {
         const std::string why = detail::concat(
             "needs up to ", result.maxFlowsPerSegment, " + ", asg_slots,
-            " flow contexts per segment, above the ",
-            config.svcEntriesPerDevice,
+            " flow contexts per segment, above the ", svc_capacity,
             "-entry State Vector Cache");
         if (options.overflowPolicy == OverflowPolicy::Fail) {
             result.status = Status::error(ErrorCode::CapacityExceeded,
@@ -547,7 +563,15 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
                                        input.ptr(s.begin), s.begin,
                                        s.length(), scratch, injector,
                                        &cancel);
-            } else if (plans[j].flows.size() <= batch_cap) {
+            } else if (plans[j].flows.size() <= batch_cap ||
+                       evict_mode) {
+                // Fits the SVC — or Evict mode, which schedules the
+                // whole plan at once and leaves residency churn to
+                // the timeline's live cache. Running unbatched means
+                // convergence merging sees every flow (batching
+                // confines it within a batch), and makes the reports
+                // byte-identical across policies and capacities by
+                // construction.
                 run = runEnumSegment(ctx.engines(), plans[j], asg,
                                      input.ptr(s.begin), s.begin,
                                      s.length(), options, scratch,
@@ -657,6 +681,12 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
             j > 0 && !plans[j].flows.empty() && !seg_failed[j];
         t.numBatches = seg_batches[j];
         t.batchReloadCycles = config.timing.stateVectorUploadCycles;
+        // Evict mode: the timeline replays this segment's flow
+        // schedule through a live cache of the configured capacity
+        // and policy, charging a re-upload per restored context.
+        t.svcEvict = evict_mode && t.hasEnumFlows;
+        t.svcCapacity = svc_capacity;
+        t.svcPolicy = options.svcPolicy;
         for (const auto &rec : runs[j].flows) {
             FlowTimingInfo info;
             info.kind = rec.kind;
@@ -952,6 +982,26 @@ runPap(const Nfa &nfa, const InputTrace &input, const ApConfig &config,
     result.speedup = timeline.speedup;
     result.goldenCapped = timeline.goldenCapped;
     result.avgActiveFlows = timeline.avgActiveFlows;
+    // Live-cache census (Evict mode; all zero under Batch). The
+    // modeled re-upload stall is worker-side device time that
+    // overlaps the host wall clock, so it is charged to an aux
+    // attribution bucket at the AP's symbol-cycle rate.
+    result.svcEvictions = timeline.svcCounters.get("svc.evictions");
+    result.svcReuploads = timeline.svcCounters.get("svc.reuploads");
+    result.svcLoadHits = timeline.svcCounters.get("svc.load_hits");
+    result.svcLoadMisses = timeline.svcCounters.get("svc.load_misses");
+    const std::uint64_t svc_lookups =
+        result.svcLoadHits + result.svcLoadMisses;
+    result.svcHitRate =
+        svc_lookups ? static_cast<double>(result.svcLoadHits) /
+                          static_cast<double>(svc_lookups)
+                    : 1.0;
+    result.svcReuploadCycles = timeline.svcReuploadCycles;
+    if (timeline.svcReuploadCycles > 0)
+        ledger.chargeAux("workers.svc_reupload",
+                         static_cast<double>(
+                             timeline.svcReuploadCycles) *
+                             config.timing.symbolCycleNs * 1e-6);
     if (diverged) {
         // Recovery replays the oracle's answer; the golden-execution
         // guarantee bounds a repaired run at the baseline cost.

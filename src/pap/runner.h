@@ -106,10 +106,29 @@ struct PapResult
 
     /** Peak enumeration flows in any segment (SVC pressure). */
     std::uint32_t maxFlowsPerSegment = 0;
-    /** True if that peak exceeded the 512-entry State Vector Cache. */
+    /** True if that peak exceeded the modeled State Vector Cache. */
     bool svcOverflow = false;
     /** Most SVC batches any segment ran in (1 = no batching). */
     std::uint32_t svcBatches = 1;
+
+    // Live-cache census (OverflowPolicy::Evict; see ap/svc_policy.h).
+    // Timing-only facts: reports are byte-identical across policies
+    // and capacities.
+    /** Modeled SVC capacity the run used (flow contexts). */
+    std::uint32_t svcCapacity = 0;
+    /** Replacement policy name ("lru", "fifo", "cost"). */
+    std::string svcPolicy = "lru";
+    /** Contexts evicted by the replacement policy. */
+    std::uint64_t svcEvictions = 0;
+    /** Evicted contexts restored via a state-vector re-upload. */
+    std::uint64_t svcReuploads = 0;
+    /** Context lookups that hit / missed the live cache. */
+    std::uint64_t svcLoadHits = 0;
+    std::uint64_t svcLoadMisses = 0;
+    /** load_hits / (load_hits + load_misses); 1.0 with no lookups. */
+    double svcHitRate = 1.0;
+    /** Cycles the timeline charged for Evict-mode re-uploads. */
+    Cycles svcReuploadCycles = 0;
 
     /** Composed true reports (equal to the sequential reports). */
     std::vector<ReportEvent> reports;

@@ -1,7 +1,9 @@
 #include "pap/timeline.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "ap/state_vector_cache.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -42,6 +44,25 @@ simulateTimeline(const std::vector<SegmentTimingInput> &segments,
         // batch and paying a state-vector reload between batches.
         const std::uint32_t num_batches = std::max(1u, seg.numBatches);
 
+        // OverflowPolicy::Evict instead schedules every flow at once
+        // through a live SVC: each TDM round touches every live
+        // flow's context, the replacement policy picks victims when
+        // the segment needs more contexts than the cache holds, and
+        // a context coming back after an eviction stalls the
+        // half-core for the state-vector upload. First-ever
+        // admissions are compulsory and free — the batch scheduler
+        // does not pay for its initial batch load either, so the two
+        // policies stay comparable.
+        const bool live_cache =
+            seg.svcEvict && seg.svcCapacity > 0 && !seg.flows.empty();
+        std::unique_ptr<StateVectorCache> cache;
+        std::vector<std::uint8_t> seen;
+        if (live_cache) {
+            cache = std::make_unique<StateVectorCache>(seg.svcCapacity,
+                                                       seg.svcPolicy);
+            seen.assign(seg.flows.size(), 0);
+        }
+
         Cycles t = 0;
         for (std::uint32_t b = 0; b < num_batches; ++b) {
             if (b > 0) {
@@ -72,14 +93,52 @@ simulateTimeline(const std::vector<SegmentTimingInput> &segments,
                 }
                 const std::uint64_t round_end =
                     std::min(processed + quantum, seg.segLen);
+                if (live_cache) {
+                    // Flow deaths since the last round (deactivation,
+                    // convergence merges, FIV kills) release their
+                    // contexts before this round admits anything:
+                    // merging is what relieves admission pressure.
+                    for (std::size_t f = 0; f < seg.flows.size(); ++f)
+                        if (stop[f] <= processed &&
+                            cache->resident(static_cast<FlowId>(f)))
+                            cache->invalidate(static_cast<FlowId>(f));
+                }
                 std::uint32_t live = 0;
                 Cycles symbol_cycles = 0;
+                Cycles restore_cycles = 0;
                 for (std::size_t f = 0; f < seg.flows.size(); ++f) {
                     if (stop[f] <= processed)
                         continue;
                     ++live;
                     symbol_cycles +=
                         std::min(stop[f], round_end) - processed;
+                    if (!live_cache)
+                        continue;
+                    // Touch the flow's context for this round. The
+                    // modeled restore cost is the upload charge plus
+                    // the flow's remaining lifetime: a flow about to
+                    // deactivate or converge is the cheapest victim —
+                    // its context will never need restoring.
+                    const auto id = static_cast<FlowId>(f);
+                    const std::uint64_t cost =
+                        seg.batchReloadCycles + (stop[f] - processed);
+                    if (cache->load(id).ok()) {
+                        cache->setCost(id, cost);
+                        continue;
+                    }
+                    const bool pinned =
+                        seg.flows[f].kind != FlowKind::Enum;
+                    const auto adm =
+                        cache->saveEvicting(id, {}, cost, pinned);
+                    if (adm.ok() ? adm.value().reupload
+                                 : seen[f] != 0)
+                        restore_cycles += seg.batchReloadCycles;
+                    seen[f] = 1;
+                }
+                if (restore_cycles > 0) {
+                    t += restore_cycles;
+                    result.reuploadCycles += restore_cycles;
+                    result.svcReuploadCycles += restore_cycles;
                 }
                 if (live == 0) {
                     // Only dead flows remain (can happen after an FIV
@@ -99,6 +158,8 @@ simulateTimeline(const std::vector<SegmentTimingInput> &segments,
                 processed = round_end;
             }
         }
+        if (cache)
+            result.svcCounters.merge(cache->counters());
         result.tDone.push_back(t);
 
         // Host resolution. The final state vector of a segment

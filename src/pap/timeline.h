@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ap/ap_config.h"
+#include "common/stats.h"
 #include "pap/options.h"
 #include "pap/segment_sim.h"
 
@@ -56,8 +57,25 @@ struct SegmentTimingInput
      * half-cores, re-streaming the input each time.
      */
     std::uint32_t numBatches = 1;
-    /** Cycles to load the next batch's state vectors between batches. */
+    /**
+     * Cycles to load the next batch's state vectors between batches;
+     * also the per-flow re-upload charge of the Evict live cache
+     * (stateVectorUploadCycles, 1668 on the D480).
+     */
     Cycles batchReloadCycles = 0;
+    /**
+     * OverflowPolicy::Evict: simulate SVC residency round by round.
+     * Every live flow's context is looked up in a live cache each TDM
+     * round; a miss on a previously evicted flow stalls the half-core
+     * for batchReloadCycles while the context re-uploads. Flow deaths
+     * (deactivation, convergence merges, FIV kills) release their
+     * entries, so merging directly relieves admission pressure.
+     */
+    bool svcEvict = false;
+    /** Modeled SVC capacity in flow contexts (Evict mode). */
+    std::uint32_t svcCapacity = 0;
+    /** Replacement policy of the live cache (Evict mode). */
+    SvcPolicyKind svcPolicy = SvcPolicyKind::Lru;
 };
 
 /** Outcome of the timeline simulation. */
@@ -78,8 +96,20 @@ struct TimelineResult
     Cycles switchCycles = 0;
     /** Total busy cycles (symbols + switches) across all flows. */
     Cycles busyCycles = 0;
-    /** Cycles spent re-loading state vectors between SVC batches. */
+    /**
+     * Cycles spent re-loading state vectors: between SVC batches
+     * (Batch) plus per-flow context restores (Evict).
+     */
     Cycles reuploadCycles = 0;
+    /** The Evict-mode share of reuploadCycles (0 under Batch). */
+    Cycles svcReuploadCycles = 0;
+    /**
+     * Merged access counters of the per-segment live caches (Evict
+     * mode): svc.load_hits / svc.load_misses / svc.evictions /
+     * svc.reuploads and friends (ap/state_vector_cache.h). Empty
+     * when no segment simulated residency.
+     */
+    CounterSet svcCounters;
     /** Round-weighted average of live flows (Fig. 9). */
     double avgActiveFlows = 0.0;
 };

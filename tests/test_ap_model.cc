@@ -80,10 +80,10 @@ TEST(StateVectorCache, SaveLoadInvalidate)
     EXPECT_TRUE(svc.resident(0));
     EXPECT_EQ(svc.occupancy(), 3u);
     EXPECT_EQ(*svc.load(0).value(), (std::vector<StateId>{1, 2, 3}));
-    EXPECT_TRUE(svc.equal(0, 1));
-    EXPECT_FALSE(svc.equal(0, 2));
-    EXPECT_TRUE(svc.isZero(2));
-    EXPECT_FALSE(svc.isZero(0));
+    EXPECT_TRUE(svc.equal(0, 1).value());
+    EXPECT_FALSE(svc.equal(0, 2).value());
+    EXPECT_TRUE(svc.isZero(2).value());
+    EXPECT_FALSE(svc.isZero(0).value());
     svc.invalidate(1);
     EXPECT_FALSE(svc.resident(1));
     EXPECT_EQ(svc.occupancy(), 2u);

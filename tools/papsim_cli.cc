@@ -88,7 +88,8 @@ usage()
         "           [--trace-out=PATH] [--profile] [--attrib[=json]]\n"
         "           [--engine=sparse|dense|hybrid|auto]\n"
         "           [--pipeline=barrier|overlap|auto]\n"
-        "           [--overflow=batch|sequential|fail]\n"
+        "           [--overflow=batch|sequential|fail|evict]\n"
+        "           [--svc-policy=lru|fifo|cost] [--svc-capacity=N]\n"
         "           [--threads=N] [--checkpoint=PATH]\n"
         "           [--deadline-ms=X] [--max-retries=N]\n"
         "           [--stop-after-segment=N]\n"
@@ -566,10 +567,22 @@ cmdRun(const std::vector<std::string> &args)
                 opt.overflowPolicy = OverflowPolicy::SequentialFallback;
             else if (v == "fail")
                 opt.overflowPolicy = OverflowPolicy::Fail;
+            else if (v == "evict")
+                opt.overflowPolicy = OverflowPolicy::Evict;
             else
-                return fail("--overflow must be batch, sequential, or "
-                            "fail; got '" + v + "'");
+                return fail("--overflow must be batch, sequential, "
+                            "fail, or evict; got '" + v + "'");
         }
+        if (flagValue(args, "--svc-policy", &v)) {
+            const Result<SvcPolicyKind> parsed = parseSvcPolicy(v);
+            if (!parsed.ok())
+                return fail(parsed.status().toString());
+            opt.svcPolicy = parsed.value();
+        }
+        if (flagValue(args, "--svc-capacity", &v) &&
+            (!parseU32(v, &opt.svcCapacity) || opt.svcCapacity == 0))
+            return fail("--svc-capacity needs a positive flow-context "
+                        "count, got '" + v + "'");
         std::unique_ptr<FaultInjector> injector;
         if (flagValue(args, "--inject-faults", &v)) {
             std::uint64_t fault_seed = 1;
@@ -627,6 +640,14 @@ cmdRun(const std::vector<std::string> &args)
             std::printf("  SVC overflow: ran in up to %u batches per "
                         "segment\n",
                         r.svcBatches);
+        if (r.svcEvictions > 0 || r.svcReuploads > 0)
+            std::printf("  SVC live cache: policy %s, capacity %u, "
+                        "%llu evictions, %llu re-uploads, hit rate "
+                        "%.3f\n",
+                        r.svcPolicy.c_str(), r.svcCapacity,
+                        static_cast<unsigned long long>(r.svcEvictions),
+                        static_cast<unsigned long long>(r.svcReuploads),
+                        r.svcHitRate);
         if (r.resumedFromCheckpoint)
             std::printf("  resumed from checkpoint: %u segments "
                         "already composed\n",
